@@ -1,0 +1,196 @@
+"""Ablations of LRSyn's design choices.
+
+The paper's prose motivates three mechanisms without table-level ablation;
+this bench quantifies each on the M2H dataset:
+
+* the **blueprint check** of Algorithm 1 (Section 2.2: "Otherwise, we look
+  for other extraction programs...") — disabled by setting the distance
+  threshold to 1.0;
+* **hierarchical landmarks** (Section 6.1) — disabled by skipping the
+  ``maybe_hierarchical`` upgrade;
+* **layout-conditional strategies** (Section 1: value extraction is
+  "conditional on both the landmark and the layout of the identified
+  region") — disabled by forcing a single layout group per cluster.
+"""
+
+from repro.core.metrics import score_corpus
+from repro.datasets import m2h
+from repro.datasets.base import CONTEMPORARY
+from repro.harness.reporting import render_table
+from repro.harness.runner import LrsynHtmlMethod
+from repro.html.domain import HtmlDomain
+
+from benchmarks.common import emit
+
+TRAIN_SIZE = 20
+TEST_SIZE = 60
+
+
+class MergedLayoutDomain(HtmlDomain):
+    """HTML domain with layout-conditional synthesis switched off."""
+
+    layout_conditional = False
+
+
+
+def _f1(method, provider, field_name, setting):
+    corpus = m2h.generate_corpus(
+        provider, train_size=TRAIN_SIZE, test_size=TEST_SIZE,
+        setting=setting, seed=0,
+    )
+    try:
+        extractor = method.train(corpus.training_examples(field_name))
+    except Exception:
+        return float("nan")
+    return score_corpus(corpus.test_pairs(field_name, extractor)).f1
+
+
+def test_ablation_blueprint_check(benchmark):
+    """Without the blueprint gate, look-alike landmark occurrences leak.
+
+    On SalesInvoice forms the ``RefNo`` landmark "Reference No" is a
+    substring of the "Customer Reference No" label, so ``Locate`` returns
+    both boxes; only the blueprint comparison rejects the wrong one.
+    """
+    import dataclasses
+
+    from repro.datasets import finance
+    from repro.harness.images import IMAGE_CONFIG, LrsynImageMethod
+
+    loose = dataclasses.replace(IMAGE_CONFIG, blueprint_threshold=1.0)
+
+    def run():
+        corpus = finance.generate_corpus(
+            "SalesInvoice", train_size=10, test_size=40, seed=0
+        )
+        examples = corpus.training_examples("RefNo")
+        gated = score_corpus(
+            corpus.test_pairs("RefNo", LrsynImageMethod().train(examples))
+        )
+        ungated = score_corpus(
+            corpus.test_pairs(
+                "RefNo", LrsynImageMethod(loose).train(examples)
+            )
+        )
+        return gated, ungated
+
+    gated, ungated = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = render_table(
+        ["Measure", "With blueprint check", "Without"],
+        [
+            ["SalesInvoice.RefNo F1", f"{gated.f1:.2f}", f"{ungated.f1:.2f}"],
+            ["SalesInvoice.RefNo precision",
+             f"{gated.precision:.2f}", f"{ungated.precision:.2f}"],
+        ],
+        title="Ablation: Algorithm 1's blueprint check (image domain)",
+    )
+    emit("ablation_blueprint_check", table)
+    assert gated.f1 > ungated.f1
+    assert gated.precision > ungated.precision
+
+
+def test_ablation_hierarchical_landmarks(benchmark):
+    """Without Section 6.1, the car section's 'Depart:' leaks into DTime."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for field_name in ("DTime", "DDate"):
+        with_hier = _f1(
+            LrsynHtmlMethod(), "getthere", field_name, CONTEMPORARY
+        )
+        without = _f1(
+            LrsynHtmlMethod(hierarchical=False),
+            "getthere", field_name, CONTEMPORARY,
+        )
+        rows.append([f"getthere.{field_name}", f"{with_hier:.2f}",
+                     f"{without:.2f}"])
+        assert with_hier >= without
+        assert with_hier >= 0.99
+    table = render_table(
+        ["Field task", "Hierarchical", "Flat"],
+        rows,
+        title="Ablation: hierarchical landmarks (Section 6.1)",
+    )
+    emit("ablation_hierarchy", table)
+    # At least one of the ambiguous-landmark fields must degrade.
+    flats = [float(row[2]) for row in rows]
+    assert min(flats) < 0.995
+
+
+def test_ablation_layout_conditional(benchmark):
+    """One strategy per ROI layout vs a single merged strategy.
+
+    Built on a corpus whose ROI genuinely has two layouts: the value sits
+    one cell after the landmark in layout A and two cells after (behind a
+    terminal label) in layout B.  Layout-conditional synthesis produces one
+    strategy per layout; merged synthesis cannot find a consistent selector
+    and fails or degrades.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.core.document import (
+        Annotation,
+        AnnotationGroup,
+        SynthesisFailure,
+        TrainingExample,
+    )
+    from repro.core.metrics import score_corpus as score
+    from repro.core.synthesis import lrsyn
+    from repro.html.parser import parse_html
+
+    def email(time, layout_b):
+        # Layout B inserts a "Meal" cell between landmark and value; "Meal"
+        # also appears in the header row of every document, so it is a
+        # cluster-wide common value and the ROI blueprints can tell the two
+        # layouts apart.
+        middle = "<td>Meal</td>" if layout_b else ""
+        return parse_html(
+            "<html><body><div>hi</div><table>"
+            "<tr><td>AIR</td><td>Meal</td></tr>"
+            f"<tr><td>Depart:</td>{middle}<td>{time}</td></tr>"
+            "</table></body></html>"
+        )
+
+    def example(time, layout_b):
+        doc = email(time, layout_b)
+        node = doc.find_by_text(time)[0]
+        return TrainingExample(
+            doc=doc,
+            annotation=Annotation(
+                groups=[AnnotationGroup(locations=(node,), value=time)]
+            ),
+        )
+
+    times = ["8:18 PM", "2:02 PM", "9:01 AM", "4:45 PM", "6:30 AM", "1:11 PM"]
+    examples = [
+        example(t, layout_b=(i % 2 == 1)) for i, t in enumerate(times)
+    ]
+    test_pairs = [
+        (email("7:07 AM", False), ["7:07 AM"]),
+        (email("3:33 PM", True), ["3:33 PM"]),
+    ]
+
+    layered = lrsyn(HtmlDomain(), examples)
+    layered_score = score(
+        (layered.extract(doc), gold) for doc, gold in test_pairs
+    )
+
+    try:
+        merged = lrsyn(MergedLayoutDomain(), examples)
+        merged_score = score(
+            (merged.extract(doc), gold) for doc, gold in test_pairs
+        )
+        merged_f1 = merged_score.f1
+    except SynthesisFailure:
+        merged_f1 = float("nan")
+
+    table = render_table(
+        ["Variant", "F1 on mixed-layout test"],
+        [
+            ["Per-layout strategies", f"{layered_score.f1:.2f}"],
+            ["Single merged strategy",
+             "synthesis failed" if merged_f1 != merged_f1 else f"{merged_f1:.2f}"],
+        ],
+        title="Ablation: layout-conditional value extraction",
+    )
+    emit("ablation_layouts", table)
+    assert layered_score.f1 == 1.0
+    assert merged_f1 != merged_f1 or merged_f1 < 1.0

@@ -1,0 +1,64 @@
+"""Section 7.3 (program size): web-extraction selector components.
+
+Paper reference: "For the M2H dataset, the web extraction part of LRSyn
+programs have 2.95 CSS selector components as compared to 8.51 for NDSyn."
+
+LRSyn selectors are region-relative (short paths inside a small ROI);
+NDSyn's are root-anchored chains through the whole document.
+"""
+
+from repro.core.dsl import ProgramExtractor
+from repro.core.hierarchy import HierarchicalProgram
+from repro.harness.reporting import render_table
+from repro.harness.runner import average
+
+from benchmarks.common import emit, m2h_results
+
+
+def _lrsyn_selector_components(extractor) -> list[float]:
+    if isinstance(extractor, HierarchicalProgram):
+        programs = [extractor.base, extractor.locator]
+    elif isinstance(extractor, ProgramExtractor):
+        programs = [extractor.program]
+    else:
+        return []
+    return [
+        strategy.value_program.size()
+        for program in programs
+        for strategy in program.strategies
+    ]
+
+
+def test_program_size(benchmark):
+    results = benchmark.pedantic(m2h_results, rounds=1, iterations=1)
+
+    lrsyn_sizes: list[float] = []
+    ndsyn_sizes: list[float] = []
+    for result in results:
+        if result.setting != "contemporary" or result.extractor is None:
+            continue
+        if result.method == "LRSyn":
+            lrsyn_sizes.extend(_lrsyn_selector_components(result.extractor))
+        elif result.method == "NDSyn":
+            ndsyn_sizes.append(
+                result.extractor.mean_selector_components()
+            )
+
+    lrsyn_mean = average(lrsyn_sizes)
+    ndsyn_mean = average(ndsyn_sizes)
+    table = render_table(
+        ["System", "Mean selector components"],
+        [
+            ["LRSyn (region-relative)", f"{lrsyn_mean:.2f}"],
+            ["NDSyn (root-anchored)", f"{ndsyn_mean:.2f}"],
+        ],
+        title=(
+            "Section 7.3: web-extraction program size "
+            "(paper: LRSyn 2.95 vs NDSyn 8.51)"
+        ),
+    )
+    emit("program_size", table)
+
+    # Shape: LRSyn programs are several times smaller.
+    assert lrsyn_mean < ndsyn_mean
+    assert ndsyn_mean / max(lrsyn_mean, 0.1) >= 2.0

@@ -1,0 +1,68 @@
+"""Table 1: overall precision/recall/F1 on M2H HTML.
+
+Paper reference (contemporary / longitudinal):
+
+    ForgivingXPaths  P 0.17/0.15  R 0.99/0.98  F1 0.22/0.20
+    NDSyn            P 0.96/0.99  R 0.91/0.89  F1 0.93/0.92
+    LRSyn            P 1.00/1.00  R 1.00/1.00  F1 1.00/1.00
+
+Expected shape: LRSyn perfect in both settings; NDSyn strong but below
+LRSyn, with a larger longitudinal gap; ForgivingXPaths near-total recall
+with poor precision.
+"""
+
+from repro.datasets import m2h
+from repro.datasets.base import CONTEMPORARY, LONGITUDINAL
+from repro.harness.reporting import overall_scores_table
+from repro.harness.runner import LrsynHtmlMethod, average
+
+from benchmarks.common import HTML_METHODS, emit, m2h_results
+
+
+def test_table1(benchmark):
+    # Benchmark the headline operation: LRSyn synthesis for one field task.
+    corpus = m2h.generate_corpus(
+        "getthere", train_size=12, test_size=0, seed=0
+    )
+    examples = corpus.training_examples("DTime")
+    benchmark.pedantic(
+        lambda: LrsynHtmlMethod().train(examples), rounds=3, iterations=1
+    )
+
+    results = m2h_results()
+    text = "\n\n".join(
+        overall_scores_table(
+            results, HTML_METHODS, setting, f"Table 1 ({setting})"
+        )
+        for setting in (CONTEMPORARY, LONGITUDINAL)
+    )
+    emit("table1_m2h_overall", text)
+
+    lrsyn_f1 = {
+        setting: average(
+            [r.f1 for r in results
+             if r.method == "LRSyn" and r.setting == setting]
+        )
+        for setting in (CONTEMPORARY, LONGITUDINAL)
+    }
+    ndsyn_f1 = {
+        setting: average(
+            [r.f1 for r in results
+             if r.method == "NDSyn" and r.setting == setting]
+        )
+        for setting in (CONTEMPORARY, LONGITUDINAL)
+    }
+    fx_precision = average(
+        [r.precision for r in results if r.method == "ForgivingXPaths"]
+    )
+    fx_recall = average(
+        [r.recall for r in results if r.method == "ForgivingXPaths"]
+    )
+
+    # Shape assertions from the paper.
+    assert lrsyn_f1[CONTEMPORARY] >= 0.99
+    assert lrsyn_f1[LONGITUDINAL] >= 0.99
+    assert 0.8 <= ndsyn_f1[CONTEMPORARY] < 1.0
+    assert ndsyn_f1[LONGITUDINAL] <= ndsyn_f1[CONTEMPORARY]
+    assert fx_recall > 0.9
+    assert fx_precision < fx_recall

@@ -1,0 +1,63 @@
+"""Table 4: F1 scores for the M2H-Images dataset (AFR vs LRSyn).
+
+Paper reference: LRSyn beats AFR on the large majority of the field tasks
+(35 of 45 in the paper's counting); one field (iflyalaskaair DDate) has no
+LRSyn program at all because no textual landmark sits near the value
+(rendered "-"/NaN); AFR degrades under the dataset's visual variation.
+"""
+
+import math
+
+from repro.datasets import m2h_images
+from repro.datasets.base import CONTEMPORARY
+from repro.harness.images import LrsynImageMethod
+from repro.harness.reporting import per_field_table, wins_summary
+from repro.harness.runner import average
+
+from benchmarks.common import IMAGE_METHODS, emit, m2h_images_results
+
+
+def test_table4(benchmark):
+    corpus = m2h_images.generate_corpus(
+        "getthere", train_size=10, test_size=0, seed=0
+    )
+    examples = corpus.training_examples("DTime")
+    benchmark.pedantic(
+        lambda: LrsynImageMethod().train(examples), rounds=1, iterations=1
+    )
+
+    results = m2h_images_results()
+    table = per_field_table(
+        results,
+        IMAGE_METHODS,
+        [CONTEMPORARY],
+        "Table 4: F1 scores for the M2H-Images dataset",
+    )
+    summary = wins_summary(results, "LRSyn", "AFR", CONTEMPORARY)
+    emit("table4_m2h_images", table + "\n\n" + summary)
+
+    lrsyn = [r for r in results if r.method == "LRSyn"]
+    afr = [r for r in results if r.method == "AFR"]
+
+    # LRSyn clearly outperforms AFR on average.
+    assert average([r.f1 for r in lrsyn]) > average([r.f1 for r in afr])
+
+    # The ifly.alaskaair DDate task has no LRSyn program (Table 4's "-").
+    nan_tasks = {
+        (r.provider, r.field) for r in lrsyn if math.isnan(r.f1)
+    }
+    assert ("iflyalaskaair", "DDate") in nan_tasks
+
+    # LRSyn wins the majority of field tasks.
+    wins = 0
+    comparable = 0
+    by_key = {}
+    for r in lrsyn + afr:
+        by_key.setdefault((r.provider, r.field), {})[r.method] = r.f1
+    for scores in by_key.values():
+        if math.isnan(scores["LRSyn"]):
+            continue
+        comparable += 1
+        if scores["LRSyn"] > scores["AFR"] + 0.005:
+            wins += 1
+    assert wins > comparable / 2

@@ -1,0 +1,60 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table or analysis of the paper's
+evaluation (see DESIGN.md §4).  Experiments are cached per pytest session so
+Table 1 and Table 2 (which share the M2H experiment) compute it once, and
+every rendered table is both printed and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pathlib
+
+from repro.harness.images import (
+    AfrMethod,
+    LrsynImageMethod,
+    run_finance_experiment,
+    run_m2h_images_experiment,
+)
+from repro.harness.runner import (
+    ForgivingXPathsMethod,
+    LrsynHtmlMethod,
+    NdsynMethod,
+    run_m2h_experiment,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+HTML_METHODS = ("ForgivingXPaths", "NDSyn", "LRSyn")
+IMAGE_METHODS = ("AFR", "LRSyn")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@functools.lru_cache(maxsize=None)
+def m2h_results(seed: int = 0):
+    """The M2H HTML experiment shared by Tables 1-2 and the size study."""
+    methods = [ForgivingXPathsMethod(), NdsynMethod(), LrsynHtmlMethod()]
+    return run_m2h_experiment(methods, seed=seed)
+
+
+@functools.lru_cache(maxsize=None)
+def finance_results(seed: int = 0):
+    return run_finance_experiment(
+        [AfrMethod(), LrsynImageMethod()], seed=seed
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def m2h_images_results(seed: int = 0):
+    return run_m2h_images_experiment(
+        [AfrMethod(), LrsynImageMethod()], seed=seed
+    )

@@ -1,0 +1,35 @@
+"""repro — a from-scratch reproduction of LRSyn (PLDI 2022).
+
+"Landmarks and Regions: A Robust Approach to Data Extraction",
+Parthasarathy et al., PLDI 2022.
+
+Public API highlights:
+
+* :func:`repro.core.synthesis.lrsyn` — Algorithm 2, the LRSyn synthesizer;
+* :class:`repro.html.domain.HtmlDomain` / :class:`repro.images.domain.ImageDomain`
+  — the two concrete domain instantiations of Section 5;
+* :mod:`repro.baselines` — NDSyn, ForgivingXPaths and the simulated Azure
+  Form Recognizer comparators;
+* :mod:`repro.datasets` — seeded synthetic equivalents of the paper's M2H,
+  Finance and M2H-Images datasets;
+* :mod:`repro.harness` — the experiment runner that regenerates every table
+  of the paper's evaluation.
+"""
+
+from repro.core.document import Annotation, AnnotationGroup, TrainingExample
+from repro.core.dsl import ExtractionProgram, Extractor, ProgramExtractor
+from repro.core.synthesis import LrsynConfig, lrsyn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Annotation",
+    "AnnotationGroup",
+    "TrainingExample",
+    "ExtractionProgram",
+    "Extractor",
+    "ProgramExtractor",
+    "LrsynConfig",
+    "lrsyn",
+    "__version__",
+]

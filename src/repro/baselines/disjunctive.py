@@ -1,0 +1,81 @@
+"""NDSyn's disjunction-selection algorithm (Iyer et al., PLDI 2019 [23]).
+
+Both the NDSyn baseline and the image-domain region DSL synthesis (Section
+5.2) construct disjunctive programs the same way: from a pool of candidate
+programs, each correct on a subset of the training examples, greedily select
+a subset whose union covers the examples, "optimizing for F1 score and
+program size".
+
+We implement the greedy weighted set cover: repeatedly pick the candidate
+with the most newly-covered examples, breaking ties toward smaller programs,
+until no candidate adds coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Sequence, TypeVar
+
+Program = TypeVar("Program")
+
+
+@dataclass(frozen=True)
+class Candidate(Generic[Program]):
+    """A candidate program with the training examples it is correct on."""
+
+    program: Program
+    covered: frozenset[int]
+    size: int
+
+
+def select_disjuncts(
+    candidates: Sequence[Candidate[Program]],
+    num_examples: int,
+    min_coverage: float = 0.0,
+) -> list[Program]:
+    """Greedy NDSyn selection.
+
+    Returns the chosen programs in selection order (most-covering first,
+    which is also the execution order of the disjunction).  Raises
+    ``ValueError`` when the selected set covers less than ``min_coverage``
+    of the examples — the caller treats this as a synthesis failure (the
+    paper's NaN entries).
+    """
+    remaining: set[int] = set(range(num_examples))
+    chosen: list[Program] = []
+    pool = list(candidates)
+    while remaining and pool:
+        best = max(
+            pool,
+            key=lambda cand: (len(cand.covered & remaining), -cand.size),
+        )
+        gain = len(best.covered & remaining)
+        if gain == 0:
+            break
+        chosen.append(best.program)
+        remaining -= best.covered
+        pool.remove(best)
+
+    covered_fraction = (
+        1.0 - len(remaining) / num_examples if num_examples else 1.0
+    )
+    if covered_fraction < min_coverage:
+        raise ValueError(
+            f"disjunction covers only {covered_fraction:.0%} of examples"
+        )
+    return chosen
+
+
+def coverage_of(
+    program: Program,
+    examples: Sequence,
+    is_correct: Callable[[Program, object], bool],
+    size: int,
+) -> Candidate[Program]:
+    """Build a :class:`Candidate` by evaluating ``program`` on every example."""
+    covered = frozenset(
+        index
+        for index, example in enumerate(examples)
+        if is_correct(program, example)
+    )
+    return Candidate(program=program, covered=covered, size=size)

@@ -1,0 +1,128 @@
+"""ForgivingXPaths baseline (Omari et al., WSDM 2017 [39]).
+
+ForgivingXPaths synthesizes *progressively relaxed* XPaths to maximize
+recall.  Starting from the fully indexed XPath of an annotated node, indices
+are relaxed (dropped) at every step where the training nodes disagree, until
+one path matches all annotated nodes of its shape.
+
+Crucially (Section 7.1): the output "corresponds to the entire node, rather
+than the sub-text contained within that node", so when the field value is a
+substring of the node text the baseline scores near-perfect recall but very
+poor precision — predictions are whole node texts and relaxed paths match
+many extra nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.document import SynthesisFailure, TrainingExample
+from repro.core.dsl import Extractor
+from repro.html.dom import DomNode, HtmlDocument
+
+
+@dataclass(frozen=True)
+class RelaxedStep:
+    """A step of a relaxed XPath: tag plus an optional kept index."""
+
+    tag: str
+    nth: int | None = None
+
+    def __str__(self) -> str:
+        return self.tag if self.nth is None else f"{self.tag}[{self.nth}]"
+
+
+@dataclass(frozen=True)
+class RelaxedXPath:
+    """A root-anchored XPath with relaxed (dropped) indices."""
+
+    steps: tuple[RelaxedStep, ...]
+
+    def select_all(self, doc: HtmlDocument) -> list[DomNode]:
+        frontier = [doc.root]
+        for step in self.steps:
+            next_frontier: list[DomNode] = []
+            for node in frontier:
+                same_tag = [
+                    child
+                    for child in node.children
+                    if not child.is_text and child.tag == step.tag
+                ]
+                if step.nth is None:
+                    next_frontier.extend(same_tag)
+                elif step.nth - 1 < len(same_tag):
+                    next_frontier.append(same_tag[step.nth - 1])
+            frontier = next_frontier
+            if not frontier:
+                return []
+        return frontier
+
+    def __str__(self) -> str:
+        return "/".join(str(step) for step in self.steps)
+
+
+@dataclass
+class ForgivingXPathsProgram(Extractor):
+    """A set of relaxed XPaths; the union of whole node texts is returned."""
+
+    paths: list[RelaxedXPath]
+
+    def extract(self, doc: HtmlDocument) -> list[str] | None:
+        values: list[str] = []
+        seen: set[int] = set()
+        for path in self.paths:
+            for node in path.select_all(doc):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                text = node.text_content()
+                if text:
+                    values.append(text)
+        return values or None
+
+    def size(self) -> int:
+        return sum(len(path.steps) for path in self.paths)
+
+
+def _indexed_path(node: DomNode) -> list[tuple[str, int]]:
+    """(tag, nth-of-type) pairs from under the synthetic root to ``node``."""
+    chain: list[tuple[str, int]] = []
+    cursor: DomNode | None = node
+    while cursor is not None and cursor.parent is not None:
+        siblings = [
+            c
+            for c in cursor.parent.children
+            if not c.is_text and c.tag == cursor.tag
+        ]
+        chain.append((cursor.tag, siblings.index(cursor) + 1))
+        cursor = cursor.parent
+    chain.reverse()
+    return chain
+
+
+def synthesize_forgiving_xpaths(
+    examples: Sequence[TrainingExample],
+) -> ForgivingXPathsProgram:
+    """Synthesize the relaxed-XPath program from annotated documents."""
+    by_signature: dict[tuple[str, ...], list[list[tuple[str, int]]]] = {}
+    for example in examples:
+        for group in example.annotation.groups:
+            for node in group.locations:
+                path = _indexed_path(node)
+                signature = tuple(tag for tag, _ in path)
+                by_signature.setdefault(signature, []).append(path)
+    if not by_signature:
+        raise SynthesisFailure("no annotated nodes for ForgivingXPaths")
+
+    paths: list[RelaxedXPath] = []
+    for signature, group in by_signature.items():
+        steps: list[RelaxedStep] = []
+        for level, tag in enumerate(signature):
+            indices = {path[level][1] for path in group}
+            # Relax: keep the index only when all training nodes agree.
+            steps.append(
+                RelaxedStep(tag, nth=indices.pop() if len(indices) == 1 else None)
+            )
+        paths.append(RelaxedXPath(tuple(steps)))
+    return ForgivingXPathsProgram(paths=paths)

@@ -1,0 +1,167 @@
+"""The landmark-based DSL ``L_ld`` and its ``Extract`` semantics.
+
+Figure 4 of the paper defines the structure of a landmark-based DSL: a
+complete program is ``Extract(q, ..., q)`` where each tuple
+``q = (m, p_rx, b, p_vx)`` bundles a landmark, a region-extraction program, a
+region blueprint and a value-extraction program.  Algorithm 1 gives the
+execution semantics, implemented here by :meth:`ExtractionProgram.extract`:
+
+* locate the landmark,
+* run the region program to obtain the ROI,
+* accept the ROI only if its blueprint is within threshold ``t`` of the
+  synthesis-time blueprint,
+* run the value program on accepted ROIs and aggregate.
+
+We generalize Algorithm 1 (per Remark 3.4 / Section 6) to landmarks occurring
+at several locations: every occurrence whose ROI passes the blueprint check
+contributes a value, and the aggregation function collects them in document
+order — exactly the behaviour needed for the two ``Depart:`` occurrences in
+Figure 1(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Sequence
+
+from repro.core.document import Domain, Location, Region, RegionProgram, ValueProgram
+
+
+@dataclass
+class Strategy:
+    """One ``(m, p_rx, b, p_vx)`` tuple of the ``Extract`` operator.
+
+    ``common_values`` records the cluster's common data values; blueprints are
+    computed relative to them at inference time (Section 3.2).
+    """
+
+    landmark: str
+    region_program: RegionProgram
+    blueprint: Hashable
+    value_program: ValueProgram
+    common_values: frozenset[str] = field(default_factory=frozenset)
+
+    def size(self) -> int:
+        """Total component count (region + value program)."""
+        return self.region_program.size() + self.value_program.size()
+
+
+@dataclass
+class ExtractionProgram:
+    """A complete program of the landmark-based DSL (Algorithm 1).
+
+    ``threshold`` is the tunable blueprint-distance threshold ``t``; the
+    paper's experiments use an exact match (``t = 0``) for HTML and we keep
+    it a parameter for the noisier image domain.
+    """
+
+    domain: Domain
+    strategies: list[Strategy]
+    threshold: float = 0.0
+
+    def extract(
+        self, doc: Any, allowed_locations: Iterable[Location] | None = None
+    ) -> list[str] | None:
+        """Run Algorithm 1 on ``doc``; returns ``None`` for ``⊥``.
+
+        ``allowed_locations`` restricts landmark occurrences — used by
+        hierarchical extraction (Section 6.1) where an outer program first
+        narrows down the valid landmark locations.
+        """
+        values, _ = self._run(doc, allowed_locations)
+        return values
+
+    def extract_locations(
+        self, doc: Any, allowed_locations: Iterable[Location] | None = None
+    ) -> list[Location]:
+        """Locations of the values extracted from ``doc`` (empty on ``⊥``).
+
+        Requires the domain's value programs to support location reporting
+        (see :meth:`repro.html.value_dsl.HtmlValueProgram.select`).
+        """
+        _, locations = self._run(doc, allowed_locations)
+        return locations
+
+    def _run(
+        self, doc: Any, allowed_locations: Iterable[Location] | None
+    ) -> tuple[list[str] | None, list[Location]]:
+        allowed = (
+            {id(loc) for loc in allowed_locations}
+            if allowed_locations is not None
+            else None
+        )
+        # Generalized Algorithm 1: a landmark may occur at several locations
+        # (Remark 3.4), and a cluster may contribute one strategy per ROI
+        # layout.  Each occurrence is handled by the *first* strategy whose
+        # blueprint matches its ROI; values aggregate across occurrences in
+        # document order.
+        consumed: set[int] = set()
+        collected: list[tuple[int, str]] = []
+        value_locations: list[Location] = []
+        order = {id(loc): i for i, loc in enumerate(self.domain.locations(doc))}
+        matched = False
+        for strategy in self.strategies:
+            locations = self.domain.locate(doc, strategy.landmark)
+            if allowed is not None:
+                locations = [loc for loc in locations if id(loc) in allowed]
+            for loc in locations:
+                if id(loc) in consumed:
+                    continue
+                region = strategy.region_program(doc, loc)
+                if region is None:
+                    continue
+                blueprint = self.domain.region_blueprint(
+                    doc, region, strategy.common_values
+                )
+                distance = self.domain.blueprint_distance(
+                    blueprint, strategy.blueprint
+                )
+                if distance > self.threshold:
+                    continue
+                consumed.add(id(loc))
+                matched = True
+                extracted = strategy.value_program(region)
+                if extracted:
+                    position = order.get(id(loc), 0)
+                    collected.extend((position, value) for value in extracted)
+                    selector = getattr(
+                        strategy.value_program, "select_all", None
+                    )
+                    if selector is not None:
+                        value_locations.extend(selector(region))
+        if matched and collected:
+            collected.sort(key=lambda item: item[0])
+            return [value for _, value in collected], value_locations
+        return None, []
+
+    def size(self) -> int:
+        """Total component count across all strategies."""
+        return sum(strategy.size() for strategy in self.strategies)
+
+    def landmarks(self) -> list[str]:
+        return [strategy.landmark for strategy in self.strategies]
+
+
+class Extractor:
+    """Common interface for every extraction system in this repository.
+
+    LRSyn programs, hierarchical programs and all baselines implement
+    ``extract(doc) -> list[str] | None`` so the experiment harness can treat
+    them uniformly.
+    """
+
+    def extract(self, doc: Any) -> list[str] | None:
+        raise NotImplementedError
+
+
+@dataclass
+class ProgramExtractor(Extractor):
+    """Adapter wrapping an :class:`ExtractionProgram` as an :class:`Extractor`."""
+
+    program: ExtractionProgram
+
+    def extract(self, doc: Any) -> list[str] | None:
+        return self.program.extract(doc)
+
+    def size(self) -> int:
+        return self.program.size()

@@ -1,0 +1,123 @@
+"""Hierarchical landmarks (Section 6.1).
+
+When a landmark is ambiguous — e.g. a ``Depart:`` that also appears in a car
+or hotel section — the base program ``Prog0`` extracts spurious values.  The
+paper's fix: take the *correct* landmark occurrences as a new annotation and
+run Algorithm 2 again, producing ``Prog1`` that locates exactly the relevant
+occurrences of the inner landmark (e.g. via the outer landmark ``AIR``).  At
+inference time, ``Prog1`` narrows the occurrences and ``Prog0`` runs only on
+those.
+
+:func:`maybe_hierarchical` performs the training-time check (does ``Prog0``
+over-extract on its own training documents?) and, if so, builds the two-level
+:class:`HierarchicalProgram`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.document import (
+    Annotation,
+    AnnotationGroup,
+    Domain,
+    SynthesisFailure,
+    TrainingExample,
+)
+from repro.core.dsl import ExtractionProgram, Extractor
+from repro.core.synthesis import LrsynConfig, lrsyn
+
+
+@dataclass
+class HierarchicalProgram(Extractor):
+    """Two-level extraction: ``locator`` narrows landmark occurrences for ``base``."""
+
+    base: ExtractionProgram
+    locator: ExtractionProgram
+
+    def extract(self, doc: Any) -> list[str] | None:
+        allowed = self.locator.extract_locations(doc)
+        if not allowed:
+            # The locator found no valid occurrence: fall back to the base
+            # program on all occurrences rather than extracting nothing.
+            return self.base.extract(doc)
+        return self.base.extract(doc, allowed_locations=allowed)
+
+    def size(self) -> int:
+        return self.base.size() + self.locator.size()
+
+
+def _overextracts(
+    program: ExtractionProgram, examples: Sequence[TrainingExample]
+) -> bool:
+    """True when the program extracts values beyond the annotations."""
+    for example in examples:
+        predicted = program.extract(example.doc) or []
+        gold = Counter(example.annotation.aggregate())
+        if Counter(predicted) - gold:
+            return True
+    return False
+
+
+def _correct_occurrence_annotation(
+    domain: Domain,
+    program: ExtractionProgram,
+    example: TrainingExample,
+) -> Annotation:
+    """Annotation whose values are the *correct* landmark occurrences.
+
+    An occurrence is correct when the base program, restricted to it alone,
+    extracts a value present in the original annotation.
+    """
+    groups: list[AnnotationGroup] = []
+    gold = set(example.annotation.aggregate())
+    for strategy in program.strategies:
+        for occurrence in domain.locate(example.doc, strategy.landmark):
+            extracted = program.extract(
+                example.doc, allowed_locations=[occurrence]
+            )
+            if extracted and set(extracted) <= gold:
+                groups.append(
+                    AnnotationGroup(
+                        locations=(occurrence,),
+                        value=domain.data(example.doc, occurrence),
+                    )
+                )
+        if groups:
+            break
+    return Annotation(groups=groups)
+
+
+def maybe_hierarchical(
+    domain: Domain,
+    program: ExtractionProgram,
+    examples: Sequence[TrainingExample],
+    config: LrsynConfig | None = None,
+) -> Extractor:
+    """Upgrade ``program`` to a hierarchical program when it over-extracts.
+
+    Returns the original program (wrapped) when no spurious extraction is
+    observed on the training set, or when the second-level synthesis fails.
+    """
+    from repro.core.dsl import ProgramExtractor
+
+    if not _overextracts(program, examples):
+        return ProgramExtractor(program)
+
+    locator_examples = []
+    for example in examples:
+        annotation = _correct_occurrence_annotation(domain, program, example)
+        if annotation.groups:
+            locator_examples.append(
+                TrainingExample(doc=example.doc, annotation=annotation)
+            )
+    if not locator_examples:
+        return ProgramExtractor(program)
+
+    try:
+        locator = lrsyn(domain, locator_examples, config)
+    except SynthesisFailure:
+        return ProgramExtractor(program)
+    return HierarchicalProgram(base=program, locator=locator)

@@ -1,0 +1,104 @@
+"""Precision / recall / F1 metrics for extraction results.
+
+The paper evaluates extraction functions with the standard precision, recall
+and F1 metrics (Section 3.1).  Field values are lists of strings (the
+aggregation function collects data values into a list), so we score
+multisets of predicted strings against multisets of gold strings.
+
+One convention is needed to reproduce the ForgivingXPaths rows of Table 1:
+that baseline returns *whole node texts* in which the field value is merely a
+substring.  Following the paper's observation that this yields "high recall
+and poor precision", a gold value counts as *recalled* when some prediction
+contains it as a substring, while a prediction counts as *precise* only when
+it exactly equals a gold value.  For exact extractors (LRSyn, NDSyn) the two
+notions coincide.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Score:
+    """Precision/recall aggregate with exact integer counts.
+
+    ``exact`` is the number of predictions that exactly match a gold value
+    (numerator of precision); ``recalled`` is the number of gold values
+    contained in some prediction (numerator of recall).
+    """
+
+    exact: int = 0
+    recalled: int = 0
+    predicted: int = 0
+    gold: int = 0
+
+    @property
+    def precision(self) -> float:
+        if self.predicted == 0:
+            return 1.0 if self.gold == 0 else 0.0
+        return self.exact / self.predicted
+
+    @property
+    def recall(self) -> float:
+        if self.gold == 0:
+            return 1.0
+        return self.recalled / self.gold
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+    def __add__(self, other: "Score") -> "Score":
+        return Score(
+            self.exact + other.exact,
+            self.recalled + other.recalled,
+            self.predicted + other.predicted,
+            self.gold + other.gold,
+        )
+
+
+def score_document(predicted: Sequence[str] | None, gold: Sequence[str]) -> Score:
+    """Score one document's predictions against its gold values.
+
+    ``predicted=None`` (the program returned the paper's ``⊥``) scores as an
+    empty prediction.  Each prediction may witness at most one gold value for
+    the containment-based recall count.
+    """
+    preds = [p for p in (predicted or []) if p is not None]
+    gold_values = list(gold)
+
+    exact = sum((Counter(preds) & Counter(gold_values)).values())
+
+    remaining = list(preds)
+    recalled = 0
+    for g in gold_values:
+        for i, p in enumerate(remaining):
+            if g in p:
+                recalled += 1
+                del remaining[i]
+                break
+
+    return Score(exact, recalled, len(preds), len(gold_values))
+
+
+def score_corpus(
+    pairs: Iterable[tuple[Sequence[str] | None, Sequence[str]]]
+) -> Score:
+    """Aggregate :func:`score_document` over ``(predicted, gold)`` pairs."""
+    total = Score()
+    for predicted, gold_values in pairs:
+        total = total + score_document(predicted, gold_values)
+    return total
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 on empty input."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,145 @@
+"""Field definitions and the travel-itinerary data model for the M2H datasets.
+
+The paper's M2H dataset extracts nine fields from flight-reservation emails
+(Table 2): arrival/departure IATA codes, arrival/departure times, departure
+date, flight number, passenger name, provider and reservation id.  This
+module defines those fields, the underlying :class:`Itinerary` record, and a
+seeded random generator for realistic values.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+
+# The nine M2H fields in the order of Table 2.
+AIATA = "AIata"
+ATIME = "ATime"
+DIATA = "DIata"
+DDATE = "DDate"
+DTIME = "DTime"
+FNUM = "FNum"
+NAME = "Name"
+PVDR = "Pvdr"
+RID = "RId"
+
+M2H_FIELDS: tuple[str, ...] = (
+    AIATA, ATIME, DIATA, DDATE, DTIME, FNUM, NAME, PVDR, RID,
+)
+
+_FIRST_NAMES = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "Wei", "Ananya", "Carlos", "Fatima",
+    "Hiroshi", "Olga", "Kwame", "Sofia", "Ravi", "Ingrid",
+)
+_LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Chen", "Patel", "Kim", "Nguyen",
+    "Kowalski", "Okafor", "Tanaka", "Silva", "Novak", "Haddad",
+)
+_IATA_CODES = (
+    "SEA", "LAX", "JFK", "ATL", "ORD", "DFW", "DEN", "SFO", "LAS", "MIA",
+    "PHX", "IAH", "BOS", "MSP", "DTW", "PHL", "LGA", "BWI", "SLC", "SAN",
+    "MEX", "CUN", "GDL", "KUL", "SIN", "BKK", "DPS", "CGK", "HND", "LHR",
+)
+_MONTHS = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+_WEEKDAYS = (
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+    "Saturday", "Sunday",
+)
+_AIRLINE_CODES = ("AS", "DL", "AM", "AK", "UA", "AA", "BA", "QF")
+
+
+@dataclass(frozen=True)
+class Flight:
+    """One flight leg of an itinerary."""
+
+    fnum: str
+    diata: str
+    aiata: str
+    ddate: str
+    dtime: str
+    adate: str
+    atime: str
+
+
+@dataclass
+class Itinerary:
+    """A complete flight reservation."""
+
+    provider: str
+    name: str
+    rid: str
+    flights: list[Flight] = field(default_factory=list)
+
+    def field_values(self) -> dict[str, list[str]]:
+        """Gold values per field (lists follow leg order)."""
+        return {
+            AIATA: [f.aiata for f in self.flights],
+            ATIME: [f.atime for f in self.flights],
+            DIATA: [f.diata for f in self.flights],
+            DDATE: [f.ddate for f in self.flights],
+            DTIME: [f.dtime for f in self.flights],
+            FNUM: [f.fnum for f in self.flights],
+            NAME: [self.name],
+            PVDR: [self.provider],
+            RID: [self.rid],
+        }
+
+
+def random_time(rng: random.Random) -> str:
+    hour = rng.randint(1, 12)
+    minute = rng.randint(0, 59)
+    meridiem = rng.choice(("AM", "PM"))
+    return f"{hour}:{minute:02d} {meridiem}"
+
+
+def random_date(rng: random.Random) -> str:
+    weekday = rng.choice(_WEEKDAYS)
+    month = rng.choice(_MONTHS)
+    day = rng.randint(1, 28)
+    return f"{weekday}, {month} {day}"
+
+
+def random_rid(rng: random.Random) -> str:
+    return "".join(
+        rng.choice(string.ascii_uppercase + string.digits) for _ in range(6)
+    )
+
+
+def random_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+def random_flight(rng: random.Random, airline_code: str | None = None) -> Flight:
+    code = airline_code or rng.choice(_AIRLINE_CODES)
+    diata, aiata = rng.sample(_IATA_CODES, 2)
+    return Flight(
+        fnum=f"{code} {rng.randint(100, 2999)}",
+        diata=diata,
+        aiata=aiata,
+        ddate=random_date(rng),
+        dtime=random_time(rng),
+        adate=random_date(rng),
+        atime=random_time(rng),
+    )
+
+
+def random_itinerary(
+    rng: random.Random,
+    provider: str,
+    airline_code: str,
+    min_legs: int = 1,
+    max_legs: int = 3,
+) -> Itinerary:
+    legs = rng.randint(min_legs, max_legs)
+    return Itinerary(
+        provider=provider,
+        name=random_name(rng),
+        rid=random_rid(rng),
+        flights=[random_flight(rng, airline_code) for _ in range(legs)],
+    )

@@ -1,0 +1,97 @@
+"""Image-domain experiment drivers (Tables 3, 4 and 5)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.afr import train_afr
+from repro.core.document import TrainingExample
+from repro.core.dsl import Extractor, ProgramExtractor
+from repro.core.synthesis import LrsynConfig, lrsyn
+from repro.datasets import finance, m2h_images
+from repro.harness.runner import (
+    FieldResult,
+    Method,
+    evaluate_method,
+    scaled,
+)
+from repro.images.domain import ImageDomain
+
+# OCR noise perturbs blueprints and geometry, so unlike the HTML domain the
+# image experiments run with positive thresholds (Section 7's threshold
+# discussion is about HTML; blueprints in the image domain are compared up
+# to BoxSummary drift).
+IMAGE_CONFIG = LrsynConfig(
+    fine_threshold=0.35,
+    merge_threshold=0.3,
+    blueprint_threshold=0.5,
+    max_candidates=10,
+)
+
+
+class LrsynImageMethod(Method):
+    """LRSyn instantiated on the form-images domain (Section 5.2)."""
+
+    name = "LRSyn"
+
+    def __init__(self, config: LrsynConfig | None = None):
+        self.config = config or IMAGE_CONFIG
+
+    def train(self, examples: Sequence[TrainingExample]) -> Extractor:
+        domain = ImageDomain()
+        return ProgramExtractor(lrsyn(domain, examples, self.config))
+
+
+class AfrMethod(Method):
+    """The simulated Azure Form Recognizer baseline."""
+
+    name = "AFR"
+
+    def train(self, examples: Sequence[TrainingExample]) -> Extractor:
+        return train_afr(examples)
+
+
+def run_finance_experiment(
+    methods: Sequence[Method],
+    doc_types: Sequence[str] = finance.DOC_TYPES,
+    train_size: int = 10,
+    test_size: int | None = None,
+    seed: int = 0,
+) -> list[FieldResult]:
+    """Table 3: the Finance dataset (34 field tasks, 10 training images)."""
+    test_size = test_size if test_size is not None else scaled(160, minimum=25)
+    results: list[FieldResult] = []
+    for doc_type in doc_types:
+        corpus = finance.generate_corpus(
+            doc_type, train_size=train_size, test_size=test_size, seed=seed
+        )
+        corpora = {corpus.train[0].setting: corpus}
+        for field_name in finance.FINANCE_FIELDS[doc_type]:
+            for method in methods:
+                results.extend(
+                    evaluate_method(method, corpora, doc_type, field_name)
+                )
+    return results
+
+
+def run_m2h_images_experiment(
+    methods: Sequence[Method],
+    providers: Sequence[str] = m2h_images.IMAGE_PROVIDERS,
+    train_size: int = 10,
+    test_size: int | None = None,
+    seed: int = 0,
+) -> list[FieldResult]:
+    """Table 4: the M2H-Images dataset (print + scan + OCR pipeline)."""
+    test_size = test_size if test_size is not None else scaled(120, minimum=25)
+    results: list[FieldResult] = []
+    for provider in providers:
+        corpus = m2h_images.generate_corpus(
+            provider, train_size=train_size, test_size=test_size, seed=seed
+        )
+        corpora = {corpus.train[0].setting: corpus}
+        for field_name in m2h_images.fields_for(provider):
+            for method in methods:
+                results.extend(
+                    evaluate_method(method, corpora, provider, field_name)
+                )
+    return results

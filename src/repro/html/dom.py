@@ -1,0 +1,226 @@
+"""DOM tree model for the HTML domain.
+
+Locations in the HTML domain are DOM nodes; the data value at a node is the
+concatenation of all text elements under it (Example 3.1).  This module
+implements the tree, XPaths (indexed and simplified), and the traversal
+helpers (LCA, sibling spans) the region DSL needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+TEXT_TAG = "#text"
+
+
+class DomNode:
+    """A node of the DOM tree (element or text node)."""
+
+    __slots__ = (
+        "tag",
+        "attrs",
+        "children",
+        "parent",
+        "text",
+        "_text_content",
+        "_depth",
+        "_xpath",
+    )
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: dict[str, str] | None = None,
+        text: str = "",
+    ):
+        self.tag = tag
+        self.attrs = attrs or {}
+        self.children: list[DomNode] = []
+        self.parent: DomNode | None = None
+        self.text = text
+        self._text_content: str | None = None
+        self._depth: int | None = None
+        self._xpath: str | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(self, child: "DomNode") -> "DomNode":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def is_text(self) -> bool:
+        return self.tag == TEXT_TAG
+
+    @property
+    def index(self) -> int:
+        """Index of this node among its parent's children."""
+        if self.parent is None:
+            return 0
+        return self.parent.children.index(self)
+
+    @property
+    def depth(self) -> int:
+        if self._depth is None:
+            self._depth = 0 if self.parent is None else self.parent.depth + 1
+        return self._depth
+
+    def ancestors(self) -> Iterator["DomNode"]:
+        """Ancestors from parent to root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def ancestor_at_hops(self, hops: int) -> "DomNode | None":
+        """The ancestor ``hops`` levels above this node (0 = the node)."""
+        node: DomNode | None = self
+        for _ in range(hops):
+            if node is None:
+                return None
+            node = node.parent
+        return node
+
+    def iter(self) -> Iterator["DomNode"]:
+        """Pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def iter_elements(self) -> Iterator["DomNode"]:
+        """Pre-order traversal restricted to element nodes."""
+        for node in self.iter():
+            if not node.is_text:
+                yield node
+
+    # ------------------------------------------------------------------
+    # Text
+    # ------------------------------------------------------------------
+    def text_content(self) -> str:
+        """Concatenation of all text under this node, whitespace-normalized."""
+        if self._text_content is None:
+            pieces = [
+                node.text for node in self.iter() if node.is_text and node.text
+            ]
+            self._text_content = " ".join(
+                " ".join(pieces).split()
+            )
+        return self._text_content
+
+    # ------------------------------------------------------------------
+    # XPaths
+    # ------------------------------------------------------------------
+    def xpath(self) -> str:
+        """Indexed XPath from the root, e.g. ``body[1]/table[4]/tr[3]``."""
+        if self._xpath is None:
+            if self.parent is None:
+                self._xpath = self.tag
+            else:
+                same_tag = [
+                    child
+                    for child in self.parent.children
+                    if child.tag == self.tag
+                ]
+                position = same_tag.index(self) + 1
+                self._xpath = f"{self.parent.xpath()}/{self.tag}[{position}]"
+        return self._xpath
+
+    def simplified_xpath(self) -> str:
+        """Index-free XPath, e.g. ``body/table/tr`` (Section 5.1 blueprints)."""
+        parts = [self.tag]
+        for ancestor in self.ancestors():
+            parts.append(ancestor.tag)
+        return "/".join(reversed(parts))
+
+    def path_to(self, base: "DomNode") -> str | None:
+        """Index-free path from ``base`` (exclusive) to this node, or ``None``."""
+        parts: list[str] = []
+        node: DomNode | None = self
+        while node is not None and node is not base:
+            parts.append(node.tag)
+            node = node.parent
+        if node is None:
+            return None
+        return "/".join(reversed(parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_text:
+            return f"DomNode(text={self.text!r})"
+        return f"DomNode(<{self.tag}> children={len(self.children)})"
+
+
+def lowest_common_ancestor(nodes: Sequence[DomNode]) -> DomNode:
+    """The LCA of a non-empty sequence of nodes of one tree."""
+    if not nodes:
+        raise ValueError("lowest_common_ancestor of no nodes")
+    paths = []
+    for node in nodes:
+        path = [node]
+        path.extend(node.ancestors())
+        path.reverse()
+        paths.append(path)
+    lca = paths[0][0]
+    for level in range(min(len(path) for path in paths)):
+        candidate = paths[0][level]
+        if all(path[level] is candidate for path in paths):
+            lca = candidate
+        else:
+            break
+    return lca
+
+
+def tree_distance(a: DomNode, b: DomNode) -> int:
+    """Number of edges on the tree path between two nodes."""
+    if a is b:
+        return 0
+    lca = lowest_common_ancestor([a, b])
+    return (a.depth - lca.depth) + (b.depth - lca.depth)
+
+
+class HtmlDocument:
+    """An HTML document: the DOM root plus derived indices."""
+
+    def __init__(self, root: DomNode, source: str = ""):
+        self.root = root
+        self.source = source
+        self._elements: list[DomNode] | None = None
+        self._order: dict[int, int] | None = None
+
+    def elements(self) -> list[DomNode]:
+        """All element nodes in document order (the document's locations)."""
+        if self._elements is None:
+            self._elements = list(self.root.iter_elements())
+        return self._elements
+
+    def document_order(self, node: DomNode) -> int:
+        """Position of ``node`` in pre-order traversal (proxy for rendering
+        position; see DESIGN.md on the Euclidean-distance approximation)."""
+        if self._order is None:
+            self._order = {
+                id(element): i for i, element in enumerate(self.elements())
+            }
+        return self._order.get(id(node), 0)
+
+    def find_by_text(self, text: str) -> list[DomNode]:
+        """Minimal element nodes whose text content contains ``text``.
+
+        "Minimal" means no child element also contains the text, which makes
+        the located node as tight as possible around the landmark.
+        """
+        matches = []
+        for node in self.elements():
+            if text not in node.text_content():
+                continue
+            if any(
+                text in child.text_content()
+                for child in node.children
+                if not child.is_text
+            ):
+                continue
+            matches.append(node)
+        return matches

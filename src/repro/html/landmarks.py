@@ -1,0 +1,189 @@
+"""Landmark candidate identification and scoring for HTML (Section 5.1).
+
+Landmarks are n-grams (n ≤ 5) over node texts.  ``LandmarkCandidates``
+lists all n-grams in the documents, filters stop words, retains those common
+to all documents of the cluster, and scores each candidate by a weighted sum
+of:
+
+* (a) the number of nodes on the DOM path between the landmark node and the
+  field-value node,
+* (b) the number of nodes in the smallest region enclosing both, and
+* (c) the (approximated) rendered distance between them — we use
+  document-order distance as the deterministic stand-in for pixel geometry
+  (DESIGN.md §5).
+
+Lower sums are better; scores are negated so "higher is better" uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.document import ScoredLandmark, TrainingExample
+from repro.html.dom import DomNode, HtmlDocument, tree_distance
+from repro.html.region import enclosing_region
+
+MAX_NGRAM = 5
+
+STOP_WORDS = frozenset(
+    """a an and are as at be by for from has have if in into is it its of on
+    or that the their this to was were will with you your""".split()
+)
+
+# Scoring weights for the three features (a), (b), (c) above.
+WEIGHT_PATH = 1.0
+WEIGHT_REGION = 0.25
+WEIGHT_ORDER = 0.05
+# Labels conventionally precede their values in reading order; a candidate
+# that *follows* the value pays a small penalty so e.g. "Origin" beats the
+# equidistant "Destination" label for the origin-airport field.
+WEIGHT_FOLLOWS = 0.5
+
+# Score computation samples at most this many documents per cluster; the
+# paper notes landmark identification can leverage the full dataset, but the
+# shared-n-gram intersection already uses every document.
+SCORE_SAMPLE = 8
+
+
+def ngrams_of_text(text: str, max_n: int = MAX_NGRAM) -> set[str]:
+    """All word n-grams (1 ≤ n ≤ ``max_n``) of a text."""
+    words = text.split()
+    grams: set[str] = set()
+    for n in range(1, max_n + 1):
+        for i in range(len(words) - n + 1):
+            grams.add(" ".join(words[i : i + n]))
+    return grams
+
+
+def document_ngrams(doc: HtmlDocument) -> set[str]:
+    """All n-grams over the document's text nodes."""
+    grams: set[str] = set()
+    for node in doc.root.iter():
+        if node.is_text and node.text:
+            grams |= ngrams_of_text(node.text)
+    return grams
+
+
+def _is_stopword_gram(gram: str) -> bool:
+    """Filter n-grams whose words are all stop words or non-alphabetic."""
+    words = [word.strip(":,.").lower() for word in gram.split()]
+    return all(word in STOP_WORDS or not word.isalpha() for word in words)
+
+
+def _leaf_texts(doc: HtmlDocument) -> set[str]:
+    """Texts of leaf elements (no element children), bounded in length."""
+    texts: set[str] = set()
+    for node in doc.elements():
+        if any(not child.is_text for child in node.children):
+            continue
+        text = node.text_content()
+        if text and len(text) <= 60:
+            texts.add(text)
+    return texts
+
+
+def shared_ngrams(docs: Sequence[HtmlDocument]) -> set[str]:
+    """Landmark-candidate n-grams: grams of *invariant leaf* node texts.
+
+    Landmarks are "a form of data invariance present in all documents of a
+    format" (Section 1), so candidates are drawn from leaf-node texts that
+    appear verbatim in every document — label cells, section headers —
+    rather than from arbitrary shared substrings, which would admit variable
+    content (the "PM" inside times) or phrases spanning several cells (whose
+    located node would be a whole row).  Stop-word-only grams are filtered.
+    """
+    invariant: set[str] | None = None
+    for doc in docs:
+        texts = _leaf_texts(doc)
+        invariant = texts if invariant is None else (invariant & texts)
+        if not invariant:
+            return set()
+    grams: set[str] = set()
+    for text in invariant or set():
+        grams |= ngrams_of_text(text)
+    return {gram for gram in grams if not _is_stopword_gram(gram)}
+
+
+def _candidate_cost(
+    doc: HtmlDocument,
+    occurrences: Sequence[DomNode],
+    value_locations: Sequence[DomNode],
+) -> float:
+    """Average weighted cost between values and their nearest occurrence."""
+    costs = []
+    for value_node in value_locations:
+        best = None
+        for occurrence in occurrences:
+            path_nodes = tree_distance(occurrence, value_node)
+            region = enclosing_region([occurrence, value_node])
+            region_size = len(region.locations())
+            order_distance = abs(
+                doc.document_order(occurrence) - doc.document_order(value_node)
+            )
+            cost = (
+                WEIGHT_PATH * path_nodes
+                + WEIGHT_REGION * region_size
+                + WEIGHT_ORDER * order_distance
+            )
+            if doc.document_order(occurrence) > doc.document_order(value_node):
+                cost += WEIGHT_FOLLOWS
+            if best is None or cost < best:
+                best = cost
+        if best is not None:
+            costs.append(best)
+    if not costs:
+        return float("inf")
+    return sum(costs) / len(costs)
+
+
+def landmark_candidates(
+    examples: Sequence[TrainingExample],
+    max_candidates: int = 10,
+) -> list[ScoredLandmark]:
+    """Scored landmark candidates for a cluster of annotated documents."""
+    docs = [example.doc for example in examples]
+    grams = shared_ngrams(docs)
+    if not grams:
+        return []
+
+    sample = examples[:SCORE_SAMPLE]
+
+    # A landmark must be *invariant label text*, never part of the value
+    # being extracted: a candidate that occurs inside an annotated value
+    # ("PM" inside "8:18 PM", an airline code inside a flight number) would
+    # locate the value itself and generalize poorly.
+    sample_values = [
+        value
+        for example in sample
+        for value in example.annotation.values
+    ]
+    grams = {
+        gram
+        for gram in grams
+        if not any(gram in value for value in sample_values)
+    }
+
+    scored: list[ScoredLandmark] = []
+    for gram in grams:
+        total = 0.0
+        usable = True
+        for example in sample:
+            doc: HtmlDocument = example.doc
+            occurrences = doc.find_by_text(gram)
+            if not occurrences:
+                usable = False
+                break
+            cost = _candidate_cost(
+                doc, occurrences, example.annotation.locations
+            )
+            if cost == float("inf"):
+                usable = False
+                break
+            total += cost
+        if not usable:
+            continue
+        average_cost = total / len(sample)
+        scored.append(ScoredLandmark(value=gram, score=-average_cost))
+
+    scored.sort(key=lambda candidate: (-candidate.score, candidate.value))
+    return scored[:max_candidates]

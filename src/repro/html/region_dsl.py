@@ -1,0 +1,133 @@
+"""The HTML region-extraction DSL ``L_rx`` (Section 5.1).
+
+A program is a pair of integers ``(parentHops, siblingHops)``: from the
+landmark location go up ``parentHops`` steps to a node ``n1``, then
+``siblingHops`` siblings across to ``n2``; the region is the span of all
+siblings between ``n1`` and ``n2`` inclusive.
+
+The paper's pair implicitly assumes the landmark sits at one edge of the
+region.  We store the span as ``(parent_hops, left_hops, right_hops)`` so
+values on either side of the landmark are expressible; the paper's
+``siblingHops`` equals ``left_hops + right_hops`` and a program prints in the
+paper's form when ``left_hops == 0`` (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.document import RegionProgram, SynthesisFailure
+from repro.html.dom import DomNode, HtmlDocument, lowest_common_ancestor
+from repro.html.region import HtmlRegion
+
+
+@dataclass(frozen=True)
+class HtmlRegionProgram(RegionProgram):
+    """``(parentHops, siblingHops)`` with a signed span around the landmark."""
+
+    parent_hops: int
+    left_hops: int
+    right_hops: int
+
+    def __call__(self, doc: HtmlDocument, loc: DomNode) -> HtmlRegion | None:
+        anchor = loc.ancestor_at_hops(self.parent_hops)
+        if anchor is None:
+            return None
+        parent = anchor.parent
+        if parent is None:
+            return HtmlRegion(parent=anchor, start=0, end=max(len(anchor.children) - 1, 0))
+        index = anchor.index
+        start = max(0, index - self.left_hops)
+        end = min(len(parent.children) - 1, index + self.right_hops)
+        return HtmlRegion(parent=parent, start=start, end=end)
+
+    def size(self) -> int:
+        return 2  # the two integers of the paper's program
+
+    @property
+    def sibling_hops(self) -> int:
+        """The paper's ``siblingHops``: total width of the span."""
+        return self.left_hops + self.right_hops
+
+    def __str__(self) -> str:
+        return (
+            f"parentHops : {self.parent_hops}, "
+            f"siblingHops : {self.sibling_hops}"
+        )
+
+
+def _hops_for_example(
+    loc: DomNode, region: HtmlRegion, parent_hops: int
+) -> tuple[int, int] | None:
+    """Left/right hops that make ``(parent_hops, ·, ·)`` cover ``region``."""
+    anchor = loc.ancestor_at_hops(parent_hops)
+    if anchor is None or anchor.parent is not region.parent:
+        return None
+    index = anchor.index
+    return max(0, index - region.start), max(0, region.end - index)
+
+
+def synthesize_region_program(
+    examples: Sequence[tuple[HtmlDocument, DomNode, HtmlRegion]]
+) -> HtmlRegionProgram:
+    """Synthesize the hop counts from ``(doc, landmark loc) -> region`` examples.
+
+    Per the paper: the parent hops follow from the depth difference between
+    the landmark and the LCA of landmark + values; the sibling hops from the
+    child-index span.  Hops are maximized over the training documents so the
+    program "produces a large enough ROI that includes the location of all
+    the field values" in every document of the cluster.
+    """
+    if not examples:
+        raise SynthesisFailure("no examples for region synthesis")
+
+    parent_hops = 0
+    for _, loc, region in examples:
+        hops = loc.depth - region.parent.depth - 1
+        if hops < 0:
+            # The landmark node *is* (an ancestor of) the region span.
+            hops = 0
+        parent_hops = max(parent_hops, hops)
+
+    left = right = 0
+    for _, loc, region in examples:
+        hops = _hops_for_example(loc, region, parent_hops)
+        if hops is None:
+            # The maximized parent hops overshoot for this document; widen
+            # by recomputing against the anchor's actual parent span.
+            anchor = loc.ancestor_at_hops(parent_hops)
+            if anchor is None or anchor.parent is None:
+                raise SynthesisFailure(
+                    "landmark too shallow for the required parent hops"
+                )
+            # Recompute the span needed at this level: the children of the
+            # anchor's parent covering the original region.
+            lca = lowest_common_ancestor([anchor, region.parent])
+            if lca is not anchor.parent:
+                raise SynthesisFailure(
+                    "region not expressible as a sibling span of the landmark"
+                )
+            span_child = region.parent
+            while span_child.parent is not lca:
+                span_child = span_child.parent
+            index = anchor.index
+            left = max(left, index - span_child.index)
+            right = max(right, span_child.index - index)
+            continue
+        example_left, example_right = hops
+        left = max(left, example_left)
+        right = max(right, example_right)
+
+    program = HtmlRegionProgram(parent_hops, left, right)
+    for doc, loc, region in examples:
+        produced = program(doc, loc)
+        if produced is None:
+            raise SynthesisFailure("synthesized region program fails an example")
+        needed = set(id(node) for node in region.locations())
+        covered = set(id(node) for node in produced.locations())
+        if not needed <= covered:
+            raise SynthesisFailure(
+                "synthesized region program does not cover an example region"
+            )
+    return program

@@ -1,0 +1,180 @@
+"""Region-relative node selectors for the HTML value-extraction DSL.
+
+The value DSL of [46]/[23] first selects the DOM node containing the field
+value (the "web extraction program"), then applies a text program.  Our
+selectors navigate from the *region* rather than the document root — this is
+the source of LRSyn's small programs (Section 7.3: 2.95 selector components
+vs NDSyn's 8.51, which are root-anchored).
+
+Selector classes, by preference during synthesis:
+
+* :class:`ByIdSelector` — a dedicated ``id`` attribute (the implicit
+  landmarks of the ``aeromexico`` domain);
+* :class:`RelPathSelector` — a chain of ``(tag, nth-of-type)`` steps from
+  the region roots, with indices dropped where a tag is unique (mirrors the
+  ``:nth-child(2)`` CSS selector of Figure 3);
+* :class:`ByClassSelector` — a ``class`` attribute match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.html.dom import DomNode
+from repro.html.region import HtmlRegion
+
+
+class NodeSelector:
+    """Base class: select nodes of a region."""
+
+    def select_all(self, region: HtmlRegion) -> list[DomNode]:
+        raise NotImplementedError
+
+    def select(self, region: HtmlRegion) -> DomNode | None:
+        matches = self.select_all(region)
+        return matches[0] if matches else None
+
+    def size(self) -> int:
+        """Number of CSS-selector components (program-size study)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ByIdSelector(NodeSelector):
+    """Select the node carrying ``id="value"``."""
+
+    id_value: str
+
+    def select_all(self, region: HtmlRegion) -> list[DomNode]:
+        return [
+            node
+            for node in region.locations()
+            if node.attrs.get("id") == self.id_value
+        ]
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"#{self.id_value}"
+
+
+@dataclass(frozen=True)
+class ByClassSelector(NodeSelector):
+    """Select nodes with a given tag and ``class`` attribute."""
+
+    tag: str
+    class_value: str
+
+    def select_all(self, region: HtmlRegion) -> list[DomNode]:
+        return [
+            node
+            for node in region.locations()
+            if node.tag == self.tag
+            and self.class_value in node.attrs.get("class", "").split()
+        ]
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return f"{self.tag}.{self.class_value}"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One path step: a tag plus an optional 1-based nth-of-type index."""
+
+    tag: str
+    position: int | None = None
+
+    def __str__(self) -> str:
+        if self.position is None:
+            return self.tag
+        return f"{self.tag}:nth-of-type({self.position})"
+
+
+@dataclass(frozen=True)
+class RelPathSelector(NodeSelector):
+    """A chain of steps descending from the region roots."""
+
+    steps: tuple[Step, ...]
+
+    def select_all(self, region: HtmlRegion) -> list[DomNode]:
+        frontier: list[DomNode] = region.roots()
+        first = True
+        for step in self.steps:
+            candidates = (
+                frontier
+                if first
+                else [
+                    child
+                    for node in frontier
+                    for child in node.children
+                    if not child.is_text
+                ]
+            )
+            frontier = _match_step(candidates, step)
+            first = False
+            if not frontier:
+                return []
+        return frontier
+
+    def size(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return " > ".join(str(step) for step in self.steps)
+
+
+def _match_step(candidates: Sequence[DomNode], step: Step) -> list[DomNode]:
+    """Nodes among sibling ``candidates`` matching a step.
+
+    ``position`` counts among same-tag siblings (nth-of-type), computed per
+    parent group so the selector behaves like CSS.
+    """
+    if step.position is None:
+        return [node for node in candidates if node.tag == step.tag]
+    matches: list[DomNode] = []
+    counters: dict[int, int] = {}
+    for node in candidates:
+        if node.tag != step.tag:
+            continue
+        key = id(node.parent)
+        counters[key] = counters.get(key, 0) + 1
+        if counters[key] == step.position:
+            matches.append(node)
+    return matches
+
+
+def path_steps(node: DomNode, region: HtmlRegion) -> tuple[Step, ...] | None:
+    """The fully-indexed step chain from the region roots down to ``node``."""
+    chain: list[DomNode] = []
+    cursor: DomNode | None = node
+    roots = region.roots()
+    while cursor is not None and all(cursor is not root for root in roots):
+        chain.append(cursor)
+        cursor = cursor.parent
+    if cursor is None:
+        return None
+    chain.append(cursor)
+    chain.reverse()
+
+    steps: list[Step] = []
+    for element in chain:
+        siblings = (
+            roots
+            if element is chain[0]
+            else [
+                child
+                for child in element.parent.children
+                if not child.is_text
+            ]
+        )
+        same_tag = [sib for sib in siblings if sib.tag == element.tag]
+        position = same_tag.index(element) + 1
+        steps.append(Step(element.tag, position))
+    return tuple(steps)
+
+

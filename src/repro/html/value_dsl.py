@@ -1,0 +1,161 @@
+"""The HTML value-extraction DSL ``L_vx`` (Section 5.1).
+
+A value program has two parts, following [46] and [23]: a *web extraction*
+program that selects the DOM node(s) containing the field value within the
+region, and a *text extraction* program that extracts the value from each
+selected node's text (e.g. "Extract TIME sub-string" in Figure 3).
+
+Selectors may match several nodes — Algorithm 1 aggregates the value
+program's output (``Agg(p_vx(R))``), so e.g. a ``tr > td:nth-of-type(3)``
+selector over a flight table yields one departure time per leg.
+
+Synthesis works from Algorithm 4's ``ValueSpec``: each example pairs a
+region with its annotated ``(locations, value)`` groups.  Candidate
+selectors are enumerated from the first example's target nodes (id, class,
+relative paths with every subset of positional indices dropped) and the
+first candidate that selects exactly the annotated nodes in every example
+wins; the text program is then synthesized from the selected nodes' texts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.core.document import Location, SynthesisFailure, ValueProgram
+from repro.html.dom import DomNode
+from repro.html.region import HtmlRegion
+from repro.html.selectors import (
+    ByClassSelector,
+    ByIdSelector,
+    NodeSelector,
+    RelPathSelector,
+    Step,
+    path_steps,
+)
+from repro.text.flashfill import TextProgram, synthesize_text_program
+
+# Cap on path length for exhaustive index-dropping (2^N variants).
+MAX_DROP_PATH = 8
+
+
+@dataclass(frozen=True)
+class HtmlValueProgram(ValueProgram):
+    """Web selector + text program, applied per selected node."""
+
+    selector: NodeSelector
+    text_program: TextProgram
+
+    def __call__(self, region: HtmlRegion) -> list[str] | None:
+        nodes = self.selector.select_all(region)
+        if not nodes:
+            return None
+        values = [
+            value
+            for node in nodes
+            if (value := self.text_program(node.text_content())) is not None
+        ]
+        return values or None
+
+    def select_all(self, region: HtmlRegion) -> list[DomNode]:
+        """The selected nodes (used by hierarchical extraction)."""
+        return self.selector.select_all(region)
+
+    def size(self) -> int:
+        return self.selector.size()
+
+    def __str__(self) -> str:
+        return (
+            f"CSS selector : {self.selector}\n"
+            f"Text program : {self.text_program}"
+        )
+
+
+def _path_variants(steps: tuple[Step, ...]):
+    """All index-dropping variants of a step chain, most specific first."""
+    indexed_positions = [
+        i for i, step in enumerate(steps) if step.position is not None
+    ]
+    if len(indexed_positions) > MAX_DROP_PATH:
+        indexed_positions = indexed_positions[-MAX_DROP_PATH:]
+    for dropped_count in range(len(indexed_positions) + 1):
+        for dropped in combinations(indexed_positions, dropped_count):
+            yield tuple(
+                Step(step.tag, None) if i in dropped else step
+                for i, step in enumerate(steps)
+            )
+
+
+def _selector_candidates(nodes: Sequence[DomNode], region: HtmlRegion):
+    """Candidate selectors ordered by preference (robust first).
+
+    ``nodes`` are the target nodes of the first example; attribute-based
+    candidates come from the first target.
+    """
+    first = nodes[0]
+    node_id = first.attrs.get("id")
+    if node_id:
+        yield ByIdSelector(node_id)
+    for class_value in first.attrs.get("class", "").split():
+        yield ByClassSelector(first.tag, class_value)
+    steps = path_steps(first, region)
+    if steps is not None:
+        yield from (RelPathSelector(variant) for variant in _path_variants(steps))
+
+
+def synthesize_value_program(
+    examples: Sequence[
+        tuple[HtmlRegion, Sequence[tuple[tuple[Location, ...], str]]]
+    ],
+) -> HtmlValueProgram:
+    """Synthesize an :class:`HtmlValueProgram` from ``ValueSpec`` examples."""
+    if not examples:
+        raise SynthesisFailure("no examples for value synthesis")
+
+    targets: list[tuple[HtmlRegion, list[DomNode], list[str]]] = []
+    for region, groups in examples:
+        if not groups:
+            raise SynthesisFailure("example region carries no value groups")
+        nodes: list[DomNode] = []
+        values: list[str] = []
+        for locations, value in groups:
+            if len(locations) != 1:
+                raise SynthesisFailure(
+                    "HTML values live in a single DOM node per group"
+                )
+            nodes.append(locations[0])
+            values.append(value)
+        # Order targets by document position so selector output (document
+        # order) can be compared directly.
+        order = {id(node): i for i, node in enumerate(region.locations())}
+        ranked = sorted(
+            zip(nodes, values), key=lambda pair: order.get(id(pair[0]), 0)
+        )
+        nodes = [node for node, _ in ranked]
+        values = [value for _, value in ranked]
+        targets.append((region, nodes, values))
+
+    first_region, first_nodes, _ = targets[0]
+    selector: NodeSelector | None = None
+    for candidate in _selector_candidates(first_nodes, first_region):
+        if all(
+            _same_nodes(candidate.select_all(region), nodes)
+            for region, nodes, _ in targets
+        ):
+            selector = candidate
+            break
+    if selector is None:
+        raise SynthesisFailure("no selector consistent with all examples")
+
+    text_examples = [
+        (node.text_content(), value)
+        for _, nodes, values in targets
+        for node, value in zip(nodes, values)
+    ]
+    text_program = synthesize_text_program(text_examples)
+    return HtmlValueProgram(selector=selector, text_program=text_program)
+
+
+def _same_nodes(a: Sequence[DomNode], b: Sequence[DomNode]) -> bool:
+    return len(a) == len(b) and all(x is y for x, y in zip(a, b))

@@ -1,0 +1,118 @@
+"""The form-images instantiation of :class:`repro.core.document.Domain`.
+
+Wires box geometry, BoxSummary blueprints, landmark scoring and the Figure 6
+region DSL into the interface consumed by the domain-agnostic LRSyn
+algorithms.  The string-profiler patterns needed by ``Relative`` motions are
+derived lazily from the documents seen at synthesis time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.document import Domain, ScoredLandmark, TrainingExample
+from repro.images import blueprint as bp
+from repro.images import landmarks as lm
+from repro.images import region_dsl, value_dsl
+from repro.images.boxes import ImageDocument, ImageRegion, TextBox, enclosing_region
+from repro.text.profiler import patterns_for_cluster
+
+
+class ImageDomain(Domain):
+    """Domain adapter for scanned form images.
+
+    ``blueprint_threshold`` guidance: BoxSummaries shift under OCR noise, so
+    unlike HTML the experiments run this domain with a small positive
+    blueprint threshold (see :class:`repro.harness.images`).
+    """
+
+    layout_conditional = False
+
+    def __init__(self) -> None:
+        # Patterns for Relative motions, refreshed per synthesis call.
+        self._patterns: tuple[str, ...] = ()
+
+    # -- locations -------------------------------------------------------
+    def locations(self, doc: ImageDocument) -> Sequence[TextBox]:
+        return doc.boxes
+
+    def data(self, doc: ImageDocument, loc: TextBox) -> str:
+        return loc.text
+
+    def locate(self, doc: ImageDocument, landmark: str) -> list[TextBox]:
+        return doc.find_by_text(landmark)
+
+    def enclosing_region(
+        self, doc: ImageDocument, locs: Sequence[TextBox]
+    ) -> ImageRegion:
+        return enclosing_region(doc, locs)
+
+    # -- blueprints --------------------------------------------------------
+    def document_blueprint(self, doc: ImageDocument) -> frozenset[str]:
+        return bp.document_blueprint(doc)
+
+    def region_blueprint(
+        self,
+        doc: ImageDocument,
+        region: ImageRegion,
+        common_values: frozenset[str],
+    ) -> frozenset:
+        return bp.region_blueprint(doc, region, common_values)
+
+    def blueprint_distance(self, bp1: frozenset, bp2: frozenset) -> float:
+        # Document blueprints are sets of label strings (Jaccard); region
+        # blueprints are sets of BoxSummary tuples (graded matching).
+        sample = next(iter(bp1), None) or next(iter(bp2), None)
+        if isinstance(sample, tuple):
+            return bp.summary_distance(bp1, bp2)
+        return bp.jaccard_distance(bp1, bp2)
+
+    # -- landmarks ---------------------------------------------------------
+    def common_values(self, docs: Sequence[ImageDocument]) -> frozenset[str]:
+        return bp.frequent_ngrams(docs)
+
+    def landmark_candidates(
+        self,
+        examples: Sequence[TrainingExample],
+        max_candidates: int = 10,
+    ) -> list[ScoredLandmark]:
+        # Refresh Relative-motion patterns from this cluster's values.  The
+        # pattern pool profiles "all the common and field text values
+        # present in the cluster" (Section 5.2): every box except the ones
+        # annotated for *this* field — other fields' values (engine numbers,
+        # dates) are exactly the stop patterns Example 5.3 needs.
+        field_values = [
+            value
+            for example in examples
+            for value in example.annotation.values
+        ]
+        annotated_ids = {
+            id(location)
+            for example in examples
+            for location in example.annotation.locations
+        }
+        common_texts = [
+            box.text
+            for example in examples
+            for box in example.doc.boxes
+            if id(box) not in annotated_ids
+        ]
+        self._patterns = tuple(
+            patterns_for_cluster(common_texts, field_values)
+        )
+        return lm.landmark_candidates(examples, max_candidates)
+
+    # -- synthesis -----------------------------------------------------------
+    def synthesize_region_program(
+        self,
+        examples: Sequence[tuple[ImageDocument, TextBox, ImageRegion]],
+    ) -> region_dsl.ImageRegionProgram:
+        return region_dsl.synthesize_region_program(
+            examples, patterns=self._patterns
+        )
+
+    def synthesize_value_program(
+        self,
+        examples,
+    ) -> value_dsl.ImageValueProgram:
+        return value_dsl.synthesize_value_program(examples)

@@ -1,0 +1,115 @@
+"""OCR simulator.
+
+The paper's image pipeline depends on a noisy OCR service: "the OCR output
+is generally very noisy, sometimes splitting up field values into a varying
+number of different text boxes" (Section 5.2), and the AFR comparison notes
+sensitivity to translated or tilted scans (Section 7.2).  We do not have the
+closed OCR service, so this module simulates its relevant behaviours on
+ground-truth boxes (see DESIGN.md §2):
+
+* **Value splitting** — multi-word box texts are split into 1-4 fragments
+  (the paper's Example 5.3: a chassis number split into 1-4 boxes);
+* **Coordinate jitter** — small independent per-box noise;
+* **Page translation** and **tilt** — global transforms of a scan;
+* **Character noise** — optional substitutions in value text (off by
+  default; label boxes are machine-printed and OCR reads them reliably).
+
+All noise is driven by an explicit ``random.Random`` so documents are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.images.boxes import ImageDocument, TextBox
+
+
+@dataclass
+class OcrConfig:
+    """Noise knobs of the simulated OCR service."""
+
+    split_probability: float = 0.5   # chance a splittable box is fragmented
+    max_fragments: int = 4           # Example 5.3: values split into 1-4 boxes
+    jitter: float = 2.0              # per-box coordinate noise (pixels)
+    max_translation: float = 0.0     # global page offset (pixels)
+    max_tilt_degrees: float = 0.0    # global rotation around the page origin
+    char_noise: float = 0.0          # per-box probability of one substitution
+
+    # Boxes are only split when tagged as field values; labels are printed
+    # text the OCR segments reliably.
+    split_values_only: bool = True
+
+
+_CONFUSIONS = {"0": "O", "1": "l", "5": "S", "8": "B", "O": "0", "l": "1"}
+
+
+def _split_text(text: str, rng: random.Random, max_fragments: int) -> list[str]:
+    words = text.split()
+    if len(words) < 2:
+        return [text]
+    fragments = rng.randint(2, min(max_fragments, len(words)))
+    cuts = sorted(rng.sample(range(1, len(words)), fragments - 1))
+    pieces = []
+    start = 0
+    for cut in cuts + [len(words)]:
+        pieces.append(" ".join(words[start:cut]))
+        start = cut
+    return pieces
+
+
+def _corrupt(text: str, rng: random.Random) -> str:
+    positions = [i for i, ch in enumerate(text) if ch in _CONFUSIONS]
+    if not positions:
+        return text
+    at = rng.choice(positions)
+    return text[:at] + _CONFUSIONS[text[at]] + text[at + 1:]
+
+
+class OcrSimulator:
+    """Apply OCR noise to a ground-truth :class:`ImageDocument`."""
+
+    def __init__(self, config: OcrConfig | None = None):
+        self.config = config or OcrConfig()
+
+    def scan(self, doc: ImageDocument, rng: random.Random) -> ImageDocument:
+        cfg = self.config
+        dx = rng.uniform(-cfg.max_translation, cfg.max_translation)
+        dy = rng.uniform(-cfg.max_translation, cfg.max_translation)
+        tilt = math.radians(
+            rng.uniform(-cfg.max_tilt_degrees, cfg.max_tilt_degrees)
+        )
+        sin_t, cos_t = math.sin(tilt), math.cos(tilt)
+
+        boxes: list[TextBox] = []
+        for box in doc.boxes:
+            pieces = [box.text]
+            splittable = bool(box.tags) or not cfg.split_values_only
+            if splittable and rng.random() < cfg.split_probability:
+                pieces = _split_text(box.text, rng, cfg.max_fragments)
+            width_per_char = box.w / max(len(box.text), 1)
+            cursor = box.x
+            for piece in pieces:
+                piece_width = width_per_char * max(len(piece), 1)
+                text = piece
+                if cfg.char_noise and rng.random() < cfg.char_noise:
+                    text = _corrupt(text, rng)
+                x = cursor + rng.uniform(-cfg.jitter, cfg.jitter)
+                y = box.y + rng.uniform(-cfg.jitter, cfg.jitter)
+                # Global tilt then translation.
+                tx = x * cos_t - y * sin_t + dx
+                ty = x * sin_t + y * cos_t + dy
+                boxes.append(
+                    TextBox(
+                        text=text,
+                        x=tx,
+                        y=ty,
+                        w=piece_width,
+                        h=box.h,
+                        tags=dict(box.tags),
+                    )
+                )
+                cursor += piece_width + width_per_char
+        return ImageDocument(boxes)

@@ -1,0 +1,320 @@
+"""The form-images region-extraction DSL of Figure 6.
+
+::
+
+    RProg  := Disjunct(path, path, ...)
+    path   := input | Expand(path, motion)
+    motion := Absolute(dir, k) | Relative(dir, pattern, inclusive)
+    dir    := Top | Left | Right | Bottom
+
+A path starts at the landmark box and repeatedly extends by moving box to
+box in a direction — a fixed number of steps (``Absolute``) or until a box
+matches a regex pattern (``Relative``, with ``inclusive`` controlling
+whether the matching box joins the path).  The region is the set of boxes on
+the path.
+
+Synthesis follows Section 5.2: enumerate candidate paths (up to 4 motions,
+``k < 5``, patterns from the string profiler) for small subsets of the
+examples, filter by whether they cover the annotated boxes, then use
+NDSyn's selection to assemble the disjunction.  Enumeration is guided: at
+each step only directions that move toward still-uncovered annotated boxes
+are expanded, which keeps the search tractable without losing the programs
+the paper's examples need (Example 5.3's "down 1, right until a 13-digit
+number").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.baselines.disjunctive import Candidate, select_disjuncts
+from repro.core.document import RegionProgram, SynthesisFailure
+from repro.images.boxes import (
+    BOTTOM,
+    DIRECTIONS,
+    ImageDocument,
+    ImageRegion,
+    LEFT,
+    RIGHT,
+    TOP,
+    TextBox,
+)
+
+MAX_MOTIONS = 4
+MAX_ABSOLUTE_STEPS = 4
+MAX_STATES = 4000
+
+
+@dataclass(frozen=True)
+class Absolute:
+    """Move up to ``k`` neighbour steps in ``direction``, appending each box.
+
+    The walk clamps at the page edge (OCR may split a value into fewer
+    fragments than ``k`` expects); a fully exhausted direction with zero
+    steps taken still counts as the (possibly shorter) path.  The training
+    tightness filter rejects programs that exploit clamping to wander.
+    """
+
+    direction: str
+    k: int
+
+    def __str__(self) -> str:
+        return f"Abs({self.direction}, {self.k})"
+
+
+@dataclass(frozen=True)
+class Relative:
+    """Move in ``direction`` until a box matches ``pattern``.
+
+    Traversed boxes join the path; the matching box joins iff ``inclusive``.
+    """
+
+    direction: str
+    pattern: str
+    inclusive: bool
+
+    def __str__(self) -> str:
+        return f"Rel({self.direction}, {self.pattern!r}, {self.inclusive})"
+
+
+Motion = Absolute | Relative
+
+
+@dataclass(frozen=True)
+class PathProgram:
+    """``input`` extended by a sequence of motions."""
+
+    motions: tuple[Motion, ...]
+
+    def run(self, doc: ImageDocument, start: TextBox) -> list[TextBox] | None:
+        path = [start]
+        for motion in self.motions:
+            extended = _apply_motion(doc, path, motion)
+            if extended is None:
+                return None
+            path = extended
+        return path
+
+    def size(self) -> int:
+        return max(1, len(self.motions))
+
+    def __str__(self) -> str:
+        inner = "input"
+        for motion in self.motions:
+            inner = f"Ext({inner}, {motion})"
+        return inner
+
+
+def _apply_motion(
+    doc: ImageDocument, path: list[TextBox], motion: Motion
+) -> list[TextBox] | None:
+    cursor = path[-1]
+    if isinstance(motion, Absolute):
+        extended = list(path)
+        for _ in range(motion.k):
+            neighbour = doc.neighbor(cursor, motion.direction)
+            if neighbour is None:
+                break
+            extended.append(neighbour)
+            cursor = neighbour
+        if len(extended) == len(path):
+            return None  # no progress at all: the direction is empty
+        return extended
+    regex = _compiled(motion.pattern)
+    extended = list(path)
+    for _ in range(24):  # bounded walk across the page
+        neighbour = doc.neighbor(cursor, motion.direction)
+        if neighbour is None:
+            return None
+        if regex.fullmatch(neighbour.text.strip()):
+            if motion.inclusive:
+                extended.append(neighbour)
+            return extended
+        extended.append(neighbour)
+        cursor = neighbour
+    return None
+
+
+_REGEX_CACHE: dict[str, re.Pattern[str]] = {}
+
+
+def _compiled(pattern: str) -> re.Pattern[str]:
+    compiled = _REGEX_CACHE.get(pattern)
+    if compiled is None:
+        compiled = re.compile(pattern)
+        _REGEX_CACHE[pattern] = compiled
+    return compiled
+
+
+@dataclass(frozen=True)
+class ImageRegionProgram(RegionProgram):
+    """Figure 6's ``Disjunct(path, path, ...)``: first non-null path wins."""
+
+    paths: tuple[PathProgram, ...]
+
+    def __call__(self, doc: ImageDocument, loc: TextBox) -> ImageRegion | None:
+        for path in self.paths:
+            boxes = path.run(doc, loc)
+            if boxes is not None:
+                return ImageRegion(boxes)
+        return None
+
+    def size(self) -> int:
+        return sum(path.size() for path in self.paths)
+
+    def __str__(self) -> str:
+        return "Disjunct(" + ", ".join(str(p) for p in self.paths) + ")"
+
+
+def _toward(start: TextBox, target: TextBox) -> set[str]:
+    """Directions that move from ``start`` toward ``target``."""
+    directions: set[str] = set()
+    if target.cx > start.x2:
+        directions.add(RIGHT)
+    if target.cx < start.x:
+        directions.add(LEFT)
+    if target.cy > start.y2:
+        directions.add(BOTTOM)
+    if target.cy < start.y:
+        directions.add(TOP)
+    if not directions:
+        # Overlapping coordinates: allow the dominant axis both ways.
+        directions = {RIGHT, BOTTOM}
+    return directions
+
+
+def enumerate_paths(
+    doc: ImageDocument,
+    start: TextBox,
+    targets: Sequence[TextBox],
+    patterns: Sequence[str],
+) -> list[PathProgram]:
+    """Candidate paths from ``start`` covering all ``targets`` in ``doc``.
+
+    Guided breadth-first enumeration over motion sequences.  A state is the
+    current path; expansion only considers directions toward uncovered
+    targets (plus pattern stops in those directions).
+    """
+    target_ids = {id(box) for box in targets}
+
+    def covered(path: list[TextBox]) -> bool:
+        members = {id(box) for box in path}
+        return target_ids <= members
+
+    results: list[PathProgram] = []
+    frontier: list[tuple[tuple[Motion, ...], list[TextBox]]] = [((), [start])]
+    states = 0
+    for _ in range(MAX_MOTIONS):
+        next_frontier: list[tuple[tuple[Motion, ...], list[TextBox]]] = []
+        for motions, path in frontier:
+            uncovered = [box for box in targets if id(box) not in
+                         {id(b) for b in path}]
+            if not uncovered:
+                continue
+            directions: set[str] = set()
+            for box in uncovered:
+                directions |= _toward(path[-1], box)
+            candidate_motions: list[Motion] = []
+            for direction in sorted(directions):
+                for k in range(1, MAX_ABSOLUTE_STEPS + 1):
+                    candidate_motions.append(Absolute(direction, k))
+                for pattern in patterns:
+                    candidate_motions.append(Relative(direction, pattern, True))
+                    candidate_motions.append(Relative(direction, pattern, False))
+            for motion in candidate_motions:
+                states += 1
+                if states > MAX_STATES:
+                    return results
+                extended = _apply_motion(doc, path, motion)
+                if extended is None:
+                    continue
+                new_motions = motions + (motion,)
+                if covered(extended):
+                    results.append(PathProgram(new_motions))
+                else:
+                    next_frontier.append((new_motions, extended))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return results
+
+
+def synthesize_region_program(
+    examples: Sequence[tuple[ImageDocument, TextBox, ImageRegion]],
+    patterns: Sequence[str] = (),
+    min_coverage: float = 0.5,
+) -> ImageRegionProgram:
+    """Enumerate path programs per example, select a disjunction (Sec. 5.2).
+
+    ``examples`` map ``(doc, landmark box)`` to the annotated enclosing
+    region; a path is correct on an example when it covers the region's
+    annotated (tagged) boxes.
+    """
+    if not examples:
+        raise SynthesisFailure("no examples for image region synthesis")
+
+    def targets_of(region: ImageRegion) -> list[TextBox]:
+        tagged = [box for box in region.locations() if box.tags]
+        return tagged if tagged else region.locations()
+
+    # Enumerate from small subsets (the paper: subsets of size <= 3).
+    pool: dict[PathProgram, None] = {}
+    for doc, landmark, region in examples[:3]:
+        for path in enumerate_paths(doc, landmark, targets_of(region), patterns):
+            pool.setdefault(path, None)
+    if len(examples) > 3:
+        doc, landmark, region = examples[-1]
+        for path in enumerate_paths(doc, landmark, targets_of(region), patterns):
+            pool.setdefault(path, None)
+
+    def correct_on(path: PathProgram, doc, landmark, region) -> bool:
+        boxes = path.run(doc, landmark)
+        if boxes is None:
+            return False
+        targets = targets_of(region)
+        produced = ImageRegion(boxes)
+        if not produced.covers(targets):
+            return False
+        # Tightness: a path that wanders past the values would feed the
+        # value program unrelated text (and defeat the blueprint check).
+        # The +1 budget is the landmark box itself — this is what forces
+        # Example 5.3's disjunction (a date-stop walk that swallows the
+        # engine number on engine-present forms is one box too long).
+        return len(boxes) <= len(targets) + 1
+
+    candidates: list[Candidate[PathProgram]] = []
+    for path in pool:
+        covered = frozenset(
+            index
+            for index, (doc, landmark, region) in enumerate(examples)
+            if correct_on(path, doc, landmark, region)
+        )
+        if covered:
+            candidates.append(
+                Candidate(program=path, covered=covered, size=path.size())
+            )
+
+    try:
+        chosen = select_disjuncts(
+            candidates, num_examples=len(examples), min_coverage=min_coverage
+        )
+    except ValueError as error:
+        raise SynthesisFailure(f"image region DSL: {error}") from error
+    if not chosen:
+        raise SynthesisFailure("no covering path program found")
+    # Execution order: pattern-validated Relative paths first (they
+    # self-check via their stop pattern), then longer Absolute walks before
+    # shorter ones, so a 2-step disjunct cannot shadow the 4-fragment case.
+    chosen.sort(key=_execution_rank)
+    return ImageRegionProgram(paths=tuple(chosen))
+
+
+def _execution_rank(path: PathProgram) -> tuple[int, int]:
+    has_relative = any(isinstance(m, Relative) for m in path.motions)
+    reach = sum(
+        m.k if isinstance(m, Absolute) else MAX_ABSOLUTE_STEPS + 1
+        for m in path.motions
+    )
+    return (0 if has_relative else 1, -reach)

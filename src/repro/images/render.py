@@ -1,0 +1,117 @@
+"""Layout engine: render an HTML DOM into text boxes.
+
+The M2H-Images dataset converts flight-reservation emails to scanned images
+("common scenarios in practice where HTML documents ... may be printed and
+then scanned again", Section 7.2).  This module is the print step: a simple
+deterministic layout that stacks block elements vertically and lays table
+cells out horizontally, producing the ground-truth boxes the OCR simulator
+then degrades.
+
+Annotation attributes (``data-f-*``) on DOM nodes become box tags so the
+dataset keeps its ground truth through the pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import annotation_attr
+from repro.html.dom import DomNode, HtmlDocument
+from repro.images.boxes import ImageDocument, TextBox
+
+LINE_HEIGHT = 28.0
+CHAR_WIDTH = 7.0
+CELL_GAP = 24.0
+MARGIN = 40.0
+
+# Elements that force a new output line.
+_BLOCK_TAGS = frozenset(
+    {"div", "p", "h1", "h2", "h3", "table", "tr", "li", "center"}
+)
+
+
+def _field_tags(node: DomNode) -> dict[str, str]:
+    tags = {}
+    for name, value in node.attrs.items():
+        if name.startswith("data-f-"):
+            tags[name[len("data-f-"):]] = value
+    return tags
+
+
+def _subtree_field_tags(node: DomNode) -> dict[str, str]:
+    """Field tags of ``node`` and every descendant (inline spans collapse
+    into their block's box when printed, so their tags move to the box)."""
+    tags = _field_tags(node)
+    for child in node.children:
+        if not child.is_text:
+            tags.update(_subtree_field_tags(child))
+    return tags
+
+
+def _collect_lines(
+    node: DomNode,
+    lines: list[list[tuple[str, dict[str, str]]]],
+    inherited: dict[str, str],
+) -> None:
+    """Depth-first walk emitting (text, tags) cells grouped into lines."""
+    tags = {**inherited, **_field_tags(node)}
+    if node.tag == "tr":
+        # One line per table row; each cell is one box.
+        cells: list[tuple[str, dict[str, str]]] = []
+        for cell in node.children:
+            if cell.is_text:
+                continue
+            text = cell.text_content()
+            if text:
+                cells.append((text, {**tags, **_subtree_field_tags(cell)}))
+        if cells:
+            lines.append(cells)
+        return
+    has_child_blocks = any(
+        not child.is_text and child.tag in _BLOCK_TAGS
+        for child in node.children
+    )
+    if node.tag in _BLOCK_TAGS and not has_child_blocks:
+        # Inline runs (label span + value span) print as separate boxes;
+        # bare text in a block prints as one box.
+        cells = []
+        for child in node.children:
+            if child.is_text:
+                if child.text:
+                    cells.append((child.text, dict(tags)))
+            else:
+                text = child.text_content()
+                if text:
+                    cells.append(
+                        (text, {**tags, **_subtree_field_tags(child)})
+                    )
+        if cells:
+            lines.append(cells)
+        return
+    for child in node.children:
+        if not child.is_text:
+            _collect_lines(child, lines, tags)
+
+
+def render_to_boxes(doc: HtmlDocument) -> ImageDocument:
+    """Render ``doc`` to ground-truth text boxes."""
+    lines: list[list[tuple[str, dict[str, str]]]] = []
+    _collect_lines(doc.root, lines, {})
+
+    boxes: list[TextBox] = []
+    y = MARGIN
+    for cells in lines:
+        x = MARGIN
+        for text, tags in cells:
+            width = CHAR_WIDTH * len(text) + 8
+            boxes.append(
+                TextBox(
+                    text=text,
+                    x=x,
+                    y=y,
+                    w=width,
+                    h=LINE_HEIGHT - 8,
+                    tags=tags,
+                )
+            )
+            x += width + CELL_GAP
+        y += LINE_HEIGHT
+    return ImageDocument(boxes)

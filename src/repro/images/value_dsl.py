@@ -1,0 +1,51 @@
+"""The form-images value-extraction DSL.
+
+Section 5.2: "For the value extraction DSL, we use FlashFill.  The input to
+the value extraction program is the concatenation of all the text values in
+the boxes returned by the path program."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.document import Location, SynthesisFailure, ValueProgram
+from repro.images.boxes import ImageRegion, TextBox
+from repro.text.flashfill import TextProgram, synthesize_text_program
+
+
+@dataclass(frozen=True)
+class ImageValueProgram(ValueProgram):
+    """FlashFill over the concatenated region text."""
+
+    text_program: TextProgram
+
+    def __call__(self, region: ImageRegion) -> list[str] | None:
+        value = self.text_program(region.text())
+        return [value] if value is not None else None
+
+    def size(self) -> int:
+        return self.text_program.size()
+
+    def __str__(self) -> str:
+        return f"FlashFill : {self.text_program}"
+
+
+def synthesize_value_program(
+    examples: Sequence[
+        tuple[ImageRegion, Sequence[tuple[tuple[Location, ...], str]]]
+    ],
+) -> ImageValueProgram:
+    """Synthesize from ``region -> value`` examples (one value per region)."""
+    if not examples:
+        raise SynthesisFailure("no examples for image value synthesis")
+    text_examples: list[tuple[str, str]] = []
+    for region, groups in examples:
+        if len(groups) != 1:
+            raise SynthesisFailure(
+                "image regions carry exactly one value group"
+            )
+        _, value = groups[0]
+        text_examples.append((region.text(), value))
+    return ImageValueProgram(synthesize_text_program(text_examples))

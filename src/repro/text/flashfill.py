@@ -1,0 +1,292 @@
+"""FlashFill-style substring program synthesis.
+
+The paper's value-extraction DSLs end with a *text extraction program* that
+pulls the field value out of the text of the selected DOM node (HTML domain)
+or out of the concatenated box texts (image domain).  Both build on Gulwani's
+FlashFill [21].  We implement the program classes that the paper's examples
+exercise:
+
+* ``Identity`` — the whole text is the value;
+* ``TokenExtract(token, k)`` — the k-th substring matching a typed token
+  (e.g. "Extract TIME sub-string" in Figures 2 and 3);
+* ``Between(prefix, suffix)`` — the text between constant anchors;
+* ``AfterPrefix(prefix, token)`` — the first token match after a constant
+  prefix (combining both anchor styles, needed when a region contains
+  several values of the same type).
+
+Synthesis enumerates these classes in order of robustness and returns the
+first program consistent with *all* examples.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.document import SynthesisFailure
+from repro.text import tokens as T
+
+
+class TextProgram:
+    """Base class for text-extraction programs."""
+
+    def __call__(self, text: str) -> str | None:
+        raise NotImplementedError
+
+    def size(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Identity(TextProgram):
+    """Return the input text unchanged (stripped)."""
+
+    def __call__(self, text: str) -> str | None:
+        stripped = text.strip()
+        return stripped if stripped else None
+
+    def __str__(self) -> str:
+        return "Identity"
+
+
+@dataclass(frozen=True)
+class TokenExtract(TextProgram):
+    """Extract the ``occurrence``-th substring matching ``token``."""
+
+    token_name: str
+    occurrence: int = 0
+
+    def __call__(self, text: str) -> str | None:
+        token = T.TOKENS_BY_NAME[self.token_name]
+        for index, match in enumerate(token.finditer(text)):
+            if index == self.occurrence:
+                return match.group(0)
+        return None
+
+    def __str__(self) -> str:
+        return f"Extract {self.token_name} sub-string #{self.occurrence}"
+
+
+@dataclass(frozen=True)
+class ProfileExtract(TextProgram):
+    """Extract the ``occurrence``-th substring matching a profiled regex.
+
+    The pattern comes from string-profiling the example values (FlashProfile
+    [40]); it plays the same role as the typed tokens but is synthesized per
+    field — e.g. ``[A-Z]{3}-[0-9]{6}`` for document numbers.
+    """
+
+    pattern: str
+    occurrence: int = 0
+
+    def __call__(self, text: str) -> str | None:
+        regex = re.compile(self.pattern)
+        for index, match in enumerate(regex.finditer(text)):
+            if index == self.occurrence:
+                return match.group(0)
+        return None
+
+    def __str__(self) -> str:
+        return f"Extract /{self.pattern}/ #{self.occurrence}"
+
+
+@dataclass(frozen=True)
+class Between(TextProgram):
+    """Extract the text between constant ``prefix`` and ``suffix`` anchors.
+
+    An empty prefix anchors at the start of the text; an empty suffix anchors
+    at the end.
+    """
+
+    prefix: str
+    suffix: str
+
+    def __call__(self, text: str) -> str | None:
+        start = 0
+        if self.prefix:
+            at = text.find(self.prefix)
+            if at < 0:
+                return None
+            start = at + len(self.prefix)
+        if self.suffix:
+            end = text.find(self.suffix, start)
+            if end < 0:
+                return None
+        else:
+            end = len(text)
+        value = text[start:end].strip()
+        return value if value else None
+
+    def size(self) -> int:
+        return 2
+
+    def __str__(self) -> str:
+        return f"Between({self.prefix!r}, {self.suffix!r})"
+
+
+@dataclass(frozen=True)
+class AfterPrefix(TextProgram):
+    """Extract the first ``token`` match at or after the constant ``prefix``."""
+
+    prefix: str
+    token_name: str
+
+    def __call__(self, text: str) -> str | None:
+        at = text.find(self.prefix)
+        if at < 0:
+            return None
+        token = T.TOKENS_BY_NAME[self.token_name]
+        match = token.regex().search(text, at + len(self.prefix))
+        return match.group(0) if match else None
+
+    def size(self) -> int:
+        return 2
+
+    def __str__(self) -> str:
+        return f"AfterPrefix({self.prefix!r}, {self.token_name})"
+
+
+def _consistent(program: TextProgram, examples: Sequence[tuple[str, str]]) -> bool:
+    return all(program(text) == value for text, value in examples)
+
+
+def _anchor_precedes_value(text: str, value: str, anchor: str) -> bool:
+    at = text.find(anchor)
+    if at < 0:
+        return False
+    return text[at + len(anchor):].lstrip().startswith(value)
+
+
+def _common_prefix_anchor(examples: Sequence[tuple[str, str]]) -> list[str]:
+    """Constant strings that immediately precede the value in every example."""
+    anchors: list[str] = []
+    text0, value0 = examples[0]
+    at = text0.find(value0)
+    if at < 0:
+        return anchors
+    context = text0[:at]
+    # Try progressively longer suffixes of the preceding context as anchors;
+    # longer anchors are more discriminating, so return them first.
+    for length in range(min(len(context), 24), 0, -1):
+        candidate = context[-length:]
+        if not candidate.strip():
+            continue
+        if all(_anchor_precedes_value(t, v, candidate) for t, v in examples):
+            anchors.append(candidate)
+    return anchors
+
+
+def _suffix_anchors(examples: Sequence[tuple[str, str]]) -> list[str]:
+    """Constant strings that immediately follow the value in every example."""
+    text0, value0 = examples[0]
+    at = text0.find(value0)
+    if at < 0:
+        return []
+    following = text0[at + len(value0):]
+    anchors = []
+    for length in range(1, min(len(following), 24) + 1):
+        candidate = following[:length]
+        if not candidate.strip():
+            continue
+        anchors.append(candidate)
+    return anchors
+
+
+def synthesize_text_program(
+    examples: Sequence[tuple[str, str]]
+) -> TextProgram:
+    """Return the most robust text program consistent with all examples.
+
+    ``examples`` is a sequence of ``(text, value)`` pairs where ``value``
+    must be a substring of ``text``.  Raises :class:`SynthesisFailure` when
+    no program in the DSL is consistent.
+    """
+    examples = [(text, value) for text, value in examples]
+    if not examples:
+        raise SynthesisFailure("no examples for text synthesis")
+    for text, value in examples:
+        if value not in text:
+            raise SynthesisFailure(
+                f"value {value!r} is not a substring of the example text"
+            )
+
+    def token_program(token: T.Token) -> TextProgram | None:
+        occurrences = {
+            T.token_occurrence(token, text, value) for text, value in examples
+        }
+        if len(occurrences) == 1 and None not in occurrences:
+            program = TokenExtract(token.name, occurrences.pop())
+            if _consistent(program, examples):
+                return program
+        return None
+
+    # Highly specific typed tokens (times, dates, money, flight numbers...)
+    # are preferred even over Identity: "Extract TIME sub-string" generalizes
+    # where a raw copy would also accept arbitrary junk.
+    for token in T.ALL_TOKENS:
+        if token.specificity < 60:
+            continue
+        program = token_program(token)
+        if program is not None:
+            return program
+
+    # Field-specific profiled patterns (FlashProfile-style), most specific
+    # (exact run lengths) first.
+    from repro.text.profiler import profile_strings
+
+    example_values = [value for _, value in examples]
+    for profile in profile_strings(example_values, min_support=1):
+        # The pattern must describe the value *class*: accidental partial
+        # matches (a profile of only some values) overfit the examples.
+        if not all(profile.matches(value) for value in example_values):
+            continue
+        occurrences = set()
+        for text, value in examples:
+            occurrence = None
+            for index, match in enumerate(
+                re.finditer(profile.pattern, text)
+            ):
+                if match.group(0) == value:
+                    occurrence = index
+                    break
+            occurrences.add(occurrence)
+        if len(occurrences) == 1 and None not in occurrences:
+            program = ProfileExtract(profile.pattern, occurrences.pop())
+            if _consistent(program, examples):
+                return program
+
+    identity = Identity()
+    if _consistent(identity, examples):
+        return identity
+
+    # Generic token extraction (words, numbers, ...).
+    for token in T.ALL_TOKENS:
+        if token.specificity >= 60 or token.name == "ANYTHING":
+            continue
+        program = token_program(token)
+        if program is not None:
+            return program
+
+    # Constant prefix anchor + token.
+    prefix_anchors = _common_prefix_anchor(examples)
+    for prefix in prefix_anchors:
+        for token in T.matching_tokens(examples[0][1]):
+            program = AfterPrefix(prefix, token.name)
+            if _consistent(program, examples):
+                return program
+
+    # Constant prefix/suffix anchors.
+    suffixes = _suffix_anchors(examples) + [""]
+    for prefix in prefix_anchors + [""]:
+        for suffix in suffixes:
+            if not prefix and not suffix:
+                continue
+            program = Between(prefix, suffix)
+            if _consistent(program, examples):
+                return program
+
+    raise SynthesisFailure(
+        "no consistent text program for examples: "
+        + ", ".join(repr(v) for _, v in examples[:3])
+    )

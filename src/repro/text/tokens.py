@@ -1,0 +1,124 @@
+"""Token library for the text-extraction DSL.
+
+FlashFill-style substring programs (Gulwani 2011, used by the paper's value
+extraction DSL via [21] and [23]) anchor positions using *token* regular
+expressions: typed character classes such as numbers, words, dates and times.
+This module defines the token classes used across the repository — both by
+the FlashFill synthesizer in :mod:`repro.text.flashfill` and by the string
+profiler in :mod:`repro.text.profiler` that generates the regex ``pattern``
+terminals of the image region DSL (Figure 6).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Token:
+    """A named regular-expression token.
+
+    ``specificity`` orders tokens during synthesis: higher values denote more
+    specific tokens (e.g. ``TIME``), preferred over generic ones (``ALNUM``)
+    because specific anchors generalize better across documents.
+    """
+
+    name: str
+    pattern: str
+    specificity: int
+
+    def regex(self) -> re.Pattern[str]:
+        return _compiled(self.pattern)
+
+    def fullmatch(self, text: str) -> bool:
+        return self.regex().fullmatch(text) is not None
+
+    def finditer(self, text: str):
+        return self.regex().finditer(text)
+
+
+_COMPILED_CACHE: dict[str, re.Pattern[str]] = {}
+
+
+def _compiled(pattern: str) -> re.Pattern[str]:
+    compiled = _COMPILED_CACHE.get(pattern)
+    if compiled is None:
+        compiled = re.compile(pattern)
+        _COMPILED_CACHE[pattern] = compiled
+    return compiled
+
+
+_MONTHS = (
+    "Jan(?:uary)?|Feb(?:ruary)?|Mar(?:ch)?|Apr(?:il)?|May|Jun(?:e)?|"
+    "Jul(?:y)?|Aug(?:ust)?|Sep(?:tember)?|Oct(?:ober)?|Nov(?:ember)?|"
+    "Dec(?:ember)?"
+)
+_DAYS = (
+    "Mon(?:day)?|Tue(?:sday)?|Wed(?:nesday)?|Thu(?:rsday)?|Fri(?:day)?|"
+    "Sat(?:urday)?|Sun(?:day)?"
+)
+
+# Order matters only for presentation; synthesis sorts by specificity.
+TIME = Token("TIME", r"\d{1,2}:\d{2}(?::\d{2})?\s?(?:AM|PM|am|pm)?", 90)
+DATE = Token(
+    "DATE",
+    r"(?:(?:%s),?\s+)?(?:%s)\.?\s+\d{1,2}(?:,?\s+\d{4})?|\d{1,2}[/-]\d{1,2}[/-]\d{2,4}"
+    % (_DAYS, _MONTHS),
+    85,
+)
+DATETIME = Token(
+    "DATETIME",
+    r"(?:(?:%s),?\s+)?(?:%s)\.?\s+\d{1,2}(?:,?\s+\d{4})?\s+\d{1,2}:\d{2}\s?(?:AM|PM|am|pm)?"
+    % (_DAYS, _MONTHS),
+    95,
+)
+MONEY = Token("MONEY", r"[$£€]\s?\d{1,3}(?:,\d{3})*(?:\.\d{2})?", 88)
+IATA = Token("IATA", r"\b[A-Z]{3}\b", 70)
+FLIGHT_NUM = Token("FLIGHT_NUM", r"\b[A-Z]{1,3}\s?\d{2,4}\b", 75)
+RECORD_ID = Token("RECORD_ID", r"\b[A-Z0-9]{6}\b", 72)
+NUMBER = Token("NUMBER", r"\d+(?:\.\d+)?", 50)
+INTEGER = Token("INTEGER", r"\d+", 45)
+CAPS_WORD = Token("CAPS_WORD", r"\b[A-Z][A-Z]+\b", 40)
+TITLE_WORD = Token("TITLE_WORD", r"\b[A-Z][a-z]+\b", 38)
+WORD = Token("WORD", r"[A-Za-z]+", 30)
+ALNUM = Token("ALNUM", r"[A-Za-z0-9]+", 20)
+ANYTHING = Token("ANYTHING", r".+", 1)
+
+ALL_TOKENS: tuple[Token, ...] = (
+    DATETIME,
+    TIME,
+    MONEY,
+    DATE,
+    FLIGHT_NUM,
+    RECORD_ID,
+    IATA,
+    NUMBER,
+    INTEGER,
+    CAPS_WORD,
+    TITLE_WORD,
+    WORD,
+    ALNUM,
+    ANYTHING,
+)
+
+TOKENS_BY_NAME: dict[str, Token] = {token.name: token for token in ALL_TOKENS}
+
+
+def matching_tokens(text: str) -> list[Token]:
+    """Tokens that fully match ``text``, most specific first."""
+    matches = [token for token in ALL_TOKENS if token.fullmatch(text)]
+    matches.sort(key=lambda token: -token.specificity)
+    return matches
+
+
+def token_occurrence(token: Token, text: str, value: str) -> int | None:
+    """Index (0-based) of the occurrence of ``token`` in ``text`` equal to ``value``.
+
+    Returns ``None`` when no occurrence of the token equals ``value``.  Used
+    by the synthesizer to produce "extract the k-th TIME substring" programs.
+    """
+    for index, match in enumerate(token.finditer(text)):
+        if match.group(0) == value:
+            return index
+    return None

@@ -1,0 +1,104 @@
+"""Tests for the simulated Azure Form Recognizer baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines.afr import train_afr, _alphabet_profile
+from repro.core.document import (
+    Annotation,
+    AnnotationGroup,
+    SynthesisFailure,
+    TrainingExample,
+)
+from repro.images.boxes import ImageDocument, TextBox
+
+
+def form(amount, dx=0.0, dy=0.0, date="12/04/2021"):
+    label = TextBox("Total Due", 100 + dx, 200 + dy, 80, 20)
+    value = TextBox(amount, 260 + dx, 200 + dy, 70, 20,
+                    tags={"amount": amount})
+    other = TextBox("Invoice Date", 100 + dx, 100 + dy, 90, 20)
+    date_box = TextBox(date, 260 + dx, 100 + dy, 80, 20)
+    return ImageDocument([label, value, other, date_box])
+
+
+def example(doc):
+    box = [b for b in doc.boxes if b.tags][0]
+    return TrainingExample(
+        doc=doc,
+        annotation=Annotation(
+            groups=[AnnotationGroup(locations=(box,), value=box.text)]
+        ),
+    )
+
+
+def train(amounts):
+    # Dates vary across training forms, as in real data.
+    return train_afr(
+        [
+            example(form(a, date=f"{i + 10}/04/2021"))
+            for i, a in enumerate(amounts)
+        ]
+    )
+
+
+class TestTraining:
+    def test_learns_centers_profiles_and_neighbors(self):
+        model = train(["$12.00", "$94.50"])
+        assert len(model.centers) == 2
+        assert model.profiles
+        assert "Total Due" in model.neighbor_labels
+
+    def test_no_values_raises(self):
+        with pytest.raises(SynthesisFailure):
+            train_afr(
+                [TrainingExample(doc=form("$1.00"), annotation=Annotation())]
+            )
+
+
+class TestExtraction:
+    def test_clean_scan_extracts(self):
+        model = train(["$12.00", "$94.50"])
+        assert model.extract(form("$77.25")) == ["$77.25"]
+
+    def test_small_translation_tolerated(self):
+        model = train(["$12.00", "$94.50"])
+        assert model.extract(form("$77.25", dx=15, dy=10)) == ["$77.25"]
+
+    def test_content_type_filters_other_fields(self):
+        # The date box is geometrically plausible after a big vertical
+        # shift, but its content type does not match money.
+        model = train(["$12.00", "$94.50"])
+        prediction = model.extract(form("$77.25", dy=-40))
+        assert prediction is None or "$" in prediction[0]
+
+    def test_large_translation_degrades(self):
+        model = train(["$12.00", "$94.50"])
+        shifted = form("$77.25", dx=400, dy=350)
+        prediction = model.extract(shifted)
+        # The geometric prior no longer matches; only the label-evidence
+        # fallback may save it, and removing the label breaks it entirely.
+        stripped = ImageDocument(
+            [b for b in shifted.boxes if b.text != "Total Due"]
+        )
+        assert model.extract(stripped) is None
+
+    def test_label_evidence_fallback(self):
+        # Translated beyond the radius but the learned label is adjacent:
+        # AFR's "semantic understanding" still fires.
+        model = train(["$12.00", "$94.50"])
+        assert model.extract(form("$77.25", dx=300, dy=250)) == ["$77.25"]
+
+
+class TestAlphabetProfile:
+    def test_generalizes_character_classes(self):
+        profile = _alphabet_profile(["AB12CD", "Z9Y8X7"])
+        assert profile.matches("Q1W2E3")
+        assert not profile.matches("q1w2e3")
+
+    def test_length_bounds(self):
+        profile = _alphabet_profile(["ABC", "ABCDE"])
+        assert profile.matches("XYZQ")
+        assert not profile.matches("XY")
+        assert not profile.matches("XYZQWE")

@@ -1,0 +1,62 @@
+"""Tests for NDSyn disjunction selection (repro.baselines.disjunctive)."""
+
+import pytest
+
+from repro.baselines.disjunctive import Candidate, coverage_of, select_disjuncts
+
+
+def cand(name, covered, size=1):
+    return Candidate(program=name, covered=frozenset(covered), size=size)
+
+
+class TestSelectDisjuncts:
+    def test_single_covering_candidate(self):
+        chosen = select_disjuncts([cand("a", {0, 1, 2})], 3)
+        assert chosen == ["a"]
+
+    def test_greedy_order_most_covering_first(self):
+        chosen = select_disjuncts(
+            [cand("small", {0}), cand("big", {1, 2, 3})], 4
+        )
+        assert chosen == ["big", "small"]
+
+    def test_tie_broken_by_size(self):
+        chosen = select_disjuncts(
+            [cand("fat", {0, 1}, size=9), cand("slim", {0, 1}, size=1)], 2
+        )
+        assert chosen == ["slim"]
+
+    def test_redundant_candidates_skipped(self):
+        chosen = select_disjuncts(
+            [cand("a", {0, 1}), cand("dup", {0, 1}), cand("b", {2})], 3
+        )
+        assert "dup" not in chosen
+
+    def test_min_coverage_failure(self):
+        with pytest.raises(ValueError):
+            select_disjuncts([cand("a", {0})], 10, min_coverage=0.6)
+
+    def test_min_coverage_satisfied(self):
+        chosen = select_disjuncts(
+            [cand("a", {0, 1, 2, 3, 4, 5})], 10, min_coverage=0.6
+        )
+        assert chosen == ["a"]
+
+    def test_empty_candidates_zero_examples(self):
+        assert select_disjuncts([], 0) == []
+
+    def test_partial_cover_allowed_at_zero_threshold(self):
+        chosen = select_disjuncts([cand("a", {0})], 3, min_coverage=0.0)
+        assert chosen == ["a"]
+
+
+class TestCoverageOf:
+    def test_evaluates_predicate(self):
+        candidate = coverage_of(
+            "starts-with-a",
+            ["apple", "banana", "avocado"],
+            is_correct=lambda program, ex: ex.startswith("a"),
+            size=2,
+        )
+        assert candidate.covered == frozenset({0, 2})
+        assert candidate.size == 2

@@ -1,0 +1,127 @@
+"""Tests for the ForgivingXPaths baseline."""
+
+import pytest
+
+from repro.baselines.forgiving_xpaths import (
+    RelaxedStep,
+    RelaxedXPath,
+    synthesize_forgiving_xpaths,
+)
+from repro.core.document import (
+    Annotation,
+    AnnotationGroup,
+    SynthesisFailure,
+    TrainingExample,
+)
+from repro.core.metrics import score_corpus
+from repro.html.parser import parse_html
+
+
+def email(time, legs=1):
+    rows = "".join(
+        f"<tr><td>Depart:</td><td>{time if i == 0 else '1:11 AM'}</td></tr>"
+        for i in range(legs)
+    )
+    return parse_html(f"<html><body><table>{rows}</table></body></html>")
+
+
+def example(doc, value):
+    node = doc.find_by_text(value)[0]
+    return TrainingExample(
+        doc=doc,
+        annotation=Annotation(
+            groups=[AnnotationGroup(locations=(node,), value=value)]
+        ),
+    )
+
+
+class TestRelaxedXPath:
+    def test_kept_index_selects_one(self):
+        doc = email("8:18 PM", legs=2)
+        path = RelaxedXPath(
+            (
+                RelaxedStep("html", 1),
+                RelaxedStep("body", 1),
+                RelaxedStep("table", 1),
+                RelaxedStep("tr", 1),
+                RelaxedStep("td", 2),
+            )
+        )
+        assert [n.text_content() for n in path.select_all(doc)] == ["8:18 PM"]
+
+    def test_relaxed_index_selects_many(self):
+        doc = email("8:18 PM", legs=3)
+        path = RelaxedXPath(
+            (
+                RelaxedStep("html", 1),
+                RelaxedStep("body", 1),
+                RelaxedStep("table", 1),
+                RelaxedStep("tr", None),
+                RelaxedStep("td", 2),
+            )
+        )
+        assert len(path.select_all(doc)) == 3
+
+    def test_str(self):
+        path = RelaxedXPath((RelaxedStep("td", None), RelaxedStep("b", 2)))
+        assert str(path) == "td/b[2]"
+
+
+class TestSynthesis:
+    def test_indices_relaxed_where_training_disagrees(self):
+        doc1 = email("8:18 PM", legs=1)
+        doc2 = email("2:02 PM", legs=3)
+        examples = [example(doc1, "8:18 PM")]
+        node = doc2.find_by_text("2:02 PM")[0]
+        examples.append(
+            TrainingExample(
+                doc=doc2,
+                annotation=Annotation(
+                    groups=[AnnotationGroup(locations=(node,), value="2:02 PM")]
+                ),
+            )
+        )
+        program = synthesize_forgiving_xpaths(examples)
+        assert len(program.paths) == 1
+
+    def test_returns_whole_node_texts(self):
+        doc = email("8:18 PM")
+        program = synthesize_forgiving_xpaths([example(doc, "8:18 PM")])
+        # Prediction is the node text, which here equals the value; on a
+        # node with extra text the whole text comes back.
+        rich = parse_html(
+            "<html><body><table><tr><td>Depart:</td>"
+            "<td>Friday 8:18 PM</td></tr></table></body></html>"
+        )
+        values = program.extract(rich)
+        assert "Friday 8:18 PM" in values
+
+    def test_high_recall_low_precision_shape(self):
+        """The Table 1 shape: near-total recall, poor precision."""
+        train = [example(email(t), t) for t in ("8:18 PM", "2:02 PM")]
+        program = synthesize_forgiving_xpaths(train)
+
+        def rich_doc(time):
+            return parse_html(
+                "<html><body><table>"
+                f"<tr><td>Depart:</td><td>Friday, Apr 3 {time}</td></tr>"
+                "</table></body></html>"
+            )
+
+        pairs = [
+            (program.extract(rich_doc(t)), [t])
+            for t in ("7:07 AM", "3:33 PM")
+        ]
+        score = score_corpus(pairs)
+        assert score.recall == 1.0
+        assert score.precision < 0.5
+
+    def test_no_examples_raises(self):
+        with pytest.raises(SynthesisFailure):
+            synthesize_forgiving_xpaths([])
+
+    def test_extract_returns_none_when_nothing_matches(self):
+        doc = email("8:18 PM")
+        program = synthesize_forgiving_xpaths([example(doc, "8:18 PM")])
+        empty = parse_html("<html><body><p>nothing</p></body></html>")
+        assert program.extract(empty) is None

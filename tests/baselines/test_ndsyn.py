@@ -1,0 +1,179 @@
+"""Tests for the NDSyn baseline (repro.baselines.ndsyn)."""
+
+import pytest
+
+from repro.baselines.ndsyn import (
+    AbsSelector,
+    AbsStep,
+    GlobalIdSelector,
+    synthesize_ndsyn,
+)
+from repro.core.document import (
+    Annotation,
+    AnnotationGroup,
+    SynthesisFailure,
+    TrainingExample,
+)
+from repro.html.parser import parse_html
+
+
+def email(time, sections_before=0):
+    ads = "".join(
+        f"<table><tr><td>ad {i}</td></tr></table>" for i in range(sections_before)
+    )
+    return parse_html(
+        f"<html><body>{ads}"
+        f"<table><tr><td>Depart:</td><td>{time}</td></tr></table>"
+        "</body></html>"
+    )
+
+
+def example(doc, value):
+    node = doc.find_by_text(value)[0]
+    return TrainingExample(
+        doc=doc,
+        annotation=Annotation(
+            groups=[AnnotationGroup(locations=(node,), value=value)]
+        ),
+    )
+
+
+class TestAbsSelector:
+    def test_nth_of_type(self):
+        doc = email("8:18 PM", sections_before=1)
+        selector = AbsSelector(
+            (
+                AbsStep("html", nth=1),
+                AbsStep("body", nth=1),
+                AbsStep("table", nth=2),
+                AbsStep("tr", nth=1),
+                AbsStep("td", nth=2),
+            )
+        )
+        assert [n.text_content() for n in selector.select_all(doc)] == [
+            "8:18 PM"
+        ]
+
+    def test_nth_last_of_type(self):
+        doc = email("8:18 PM", sections_before=2)
+        selector = AbsSelector(
+            (
+                AbsStep("html", nth=1),
+                AbsStep("body", nth=1),
+                AbsStep("table", nth_last=1),
+                AbsStep("tr", nth=1),
+                AbsStep("td", nth_last=1),
+            )
+        )
+        assert [n.text_content() for n in selector.select_all(doc)] == [
+            "8:18 PM"
+        ]
+
+    def test_bare_tag_matches_all(self):
+        doc = email("8:18 PM", sections_before=1)
+        selector = AbsSelector(
+            (
+                AbsStep("html", nth=1),
+                AbsStep("body", nth=1),
+                AbsStep("table"),
+                AbsStep("tr", nth=1),
+                AbsStep("td", nth=1),
+            )
+        )
+        assert len(selector.select_all(doc)) == 2
+
+    def test_class_step(self):
+        doc = parse_html(
+            '<html><body><table class="x"><tr><td>v</td></tr></table>'
+            "<table><tr><td>w</td></tr></table></body></html>"
+        )
+        selector = AbsSelector(
+            (
+                AbsStep("html", nth=1),
+                AbsStep("body", nth=1),
+                AbsStep("table", class_name="x"),
+                AbsStep("tr", nth=1),
+                AbsStep("td", nth=1),
+            )
+        )
+        assert [n.text_content() for n in selector.select_all(doc)] == ["v"]
+
+    def test_out_of_range_is_empty(self):
+        doc = email("8:18 PM")
+        selector = AbsSelector((AbsStep("html", nth=5),))
+        assert selector.select_all(doc) == []
+
+
+class TestSynthesis:
+    def test_stable_format_learns_exact_program(self):
+        examples = [example(email(t), t) for t in ("8:18 PM", "2:02 PM")]
+        program = synthesize_ndsyn(examples)
+        test_doc = email("7:07 AM")
+        assert program.extract(test_doc) == ["7:07 AM"]
+
+    def test_global_program_breaks_under_insertion(self):
+        """The Figure 1(b) failure: inserting a section shifts the global
+        indices and NDSyn extracts from the wrong place (here: nothing)."""
+        examples = [example(email(t), t) for t in ("8:18 PM", "2:02 PM")]
+        program = synthesize_ndsyn(examples)
+        drifted = email("7:07 AM", sections_before=2)
+        assert program.extract(drifted) != ["7:07 AM"]
+
+    def test_id_attribute_becomes_global_selector(self):
+        def id_doc(value):
+            return parse_html(
+                f'<html><body><div><span id="rid">{value}</span></div>'
+                "</body></html>"
+            )
+
+        docs = [id_doc(v) for v in ("AAA111", "BBB222")]
+        examples = []
+        for doc, v in zip(docs, ("AAA111", "BBB222")):
+            examples.append(example(doc, v))
+        program = synthesize_ndsyn(examples)
+        assert any(
+            isinstance(d.selector, GlobalIdSelector) for d in program.disjuncts
+        )
+        # Robust even when wrapped in new structure.
+        drifted = parse_html(
+            '<html><body><table><tr><td><span id="rid">CCC333</span>'
+            "</td></tr></table></body></html>"
+        )
+        assert program.extract(drifted) == ["CCC333"]
+
+    def test_inconsistent_structures_fail_synthesis(self):
+        # Each document nests the value at a different random depth; no
+        # root-anchored selector generalizes (the NaN rows of Table 2).
+        wrappers = ["", "<b>", "<b><i>", "<i><u><b>", "<u>", "<i><b>"]
+        examples = []
+        for i, wrap in enumerate(wrappers):
+            close = "".join(
+                f"</{tag[1:]}" for tag in reversed(wrap.split("><"))
+            ) if wrap else ""
+            open_tags = wrap
+            value = f"{i}:0{i} PM"
+            doc = parse_html(
+                f"<html><body>{open_tags}<table><tr><td>Departs</td>"
+                f"<td>{value}</td></tr></table>{close}</body></html>"
+            )
+            examples.append(example(doc, value))
+        with pytest.raises(SynthesisFailure):
+            synthesize_ndsyn(examples, min_coverage=0.9)
+
+    def test_no_examples_raises(self):
+        with pytest.raises(SynthesisFailure):
+            synthesize_ndsyn([])
+
+    def test_duplicate_values_are_deduped(self):
+        # A relaxed selector hitting one value through several routes must
+        # not inflate the prediction list.
+        examples = [example(email(t), t) for t in ("8:18 PM", "2:02 PM")]
+        program = synthesize_ndsyn(examples)
+        values = program.extract(email("9:09 AM"))
+        assert values == ["9:09 AM"]
+
+    def test_selector_component_count(self):
+        examples = [example(email(t), t) for t in ("8:18 PM", "2:02 PM")]
+        program = synthesize_ndsyn(examples)
+        # Root-anchored chains: html/body/table/tr/td = 5 components.
+        assert program.mean_selector_components() >= 5

@@ -1,0 +1,76 @@
+"""Tests for the core document abstractions (repro.core.document)."""
+
+from repro.core.document import (
+    Annotation,
+    AnnotationGroup,
+    ScoredLandmark,
+    TrainingExample,
+)
+
+
+class TestAnnotation:
+    def test_empty(self):
+        annotation = Annotation()
+        assert annotation.locations == []
+        assert annotation.values == []
+        assert annotation.aggregate() == []
+
+    def test_single_group(self):
+        annotation = Annotation(
+            groups=[AnnotationGroup(locations=("n1",), value="8:18 PM")]
+        )
+        assert annotation.locations == ["n1"]
+        assert annotation.aggregate() == ["8:18 PM"]
+
+    def test_multi_location_group_flattens(self):
+        annotation = Annotation(
+            groups=[
+                AnnotationGroup(locations=("a", "b"), value="WDX 28298"),
+                AnnotationGroup(locations=("c",), value="12/04/2021"),
+            ]
+        )
+        assert annotation.locations == ["a", "b", "c"]
+        assert annotation.values == ["WDX 28298", "12/04/2021"]
+
+    def test_aggregate_preserves_order_and_duplicates(self):
+        annotation = Annotation(
+            groups=[
+                AnnotationGroup(locations=("a",), value="x"),
+                AnnotationGroup(locations=("b",), value="x"),
+            ]
+        )
+        assert annotation.aggregate() == ["x", "x"]
+
+    def test_aggregate_returns_copy(self):
+        annotation = Annotation(
+            groups=[AnnotationGroup(locations=("a",), value="x")]
+        )
+        out = annotation.aggregate()
+        out.append("junk")
+        assert annotation.aggregate() == ["x"]
+
+
+class TestScoredLandmark:
+    def test_ordering_by_score(self):
+        low = ScoredLandmark(value="b", score=-5.0)
+        high = ScoredLandmark(value="a", score=-1.0)
+        assert low < high
+
+    def test_frozen(self):
+        landmark = ScoredLandmark(value="Depart:", score=0.0)
+        try:
+            landmark.score = 1.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestTrainingExample:
+    def test_bundles_doc_and_annotation(self):
+        annotation = Annotation(
+            groups=[AnnotationGroup(locations=(1,), value="v")]
+        )
+        example = TrainingExample(doc="the-doc", annotation=annotation)
+        assert example.doc == "the-doc"
+        assert example.annotation.aggregate() == ["v"]

@@ -1,0 +1,146 @@
+"""Tests for the Extract operator semantics (repro.core.dsl, Algorithm 1)."""
+
+from repro.core.dsl import ExtractionProgram, ProgramExtractor, Strategy
+
+from tests.core.fake_domain import (
+    FakeDoc,
+    FakeDomain,
+    FakeRegionProgram,
+    FakeValueProgram,
+)
+
+
+def make_program(domain, strategies, threshold=0.0):
+    return ExtractionProgram(
+        domain=domain, strategies=strategies, threshold=threshold
+    )
+
+
+def strategy(landmark, offset, index, blueprint, common):
+    return Strategy(
+        landmark=landmark,
+        region_program=FakeRegionProgram(offset=offset),
+        blueprint=blueprint,
+        value_program=FakeValueProgram(index=index),
+        common_values=common,
+    )
+
+
+COMMON = frozenset({"Depart:", "Arrive:"})
+
+
+class TestExtractSemantics:
+    def test_basic_extraction(self):
+        domain = FakeDomain()
+        doc = FakeDoc(["header", "Depart:", "8:18 PM", "footer"])
+        program = make_program(
+            domain,
+            [strategy("Depart:", 1, 1, frozenset({"Depart:"}), COMMON)],
+        )
+        assert program.extract(doc) == ["8:18 PM"]
+
+    def test_returns_none_when_landmark_missing(self):
+        domain = FakeDomain()
+        doc = FakeDoc(["header", "footer"])
+        program = make_program(
+            domain,
+            [strategy("Depart:", 1, 1, frozenset({"Depart:"}), COMMON)],
+        )
+        assert program.extract(doc) is None
+
+    def test_blueprint_gate_rejects_mismatched_region(self):
+        domain = FakeDomain()
+        doc = FakeDoc(["Depart:", "8:18 PM"])
+        # Stored blueprint expects an "Arrive:" cell inside the region.
+        program = make_program(
+            domain,
+            [strategy("Depart:", 1, 1, frozenset({"Arrive:"}), COMMON)],
+        )
+        assert program.extract(doc) is None
+
+    def test_blueprint_threshold_tolerates_drift(self):
+        domain = FakeDomain()
+        doc = FakeDoc(["Depart:", "8:18 PM"])
+        program = make_program(
+            domain,
+            [
+                strategy(
+                    "Depart:", 1, 1,
+                    frozenset({"Depart:", "Arrive:"}), COMMON,
+                )
+            ],
+            threshold=0.5,
+        )
+        assert program.extract(doc) == ["8:18 PM"]
+
+    def test_multiple_occurrences_aggregate_in_document_order(self):
+        domain = FakeDomain()
+        doc = FakeDoc(
+            ["Depart:", "8:18 PM", "pad", "Depart:", "2:02 PM"]
+        )
+        program = make_program(
+            domain,
+            [strategy("Depart:", 1, 1, frozenset({"Depart:"}), COMMON)],
+        )
+        assert program.extract(doc) == ["8:18 PM", "2:02 PM"]
+
+    def test_first_matching_strategy_consumes_occurrence(self):
+        domain = FakeDomain()
+        doc = FakeDoc(["Depart:", "8:18 PM"])
+        good = strategy("Depart:", 1, 1, frozenset({"Depart:"}), COMMON)
+        # A later strategy on the same landmark with a different value slot
+        # must not double-extract from the same occurrence.
+        shadow = strategy("Depart:", 1, 0, frozenset({"Depart:"}), COMMON)
+        program = make_program(domain, [good, shadow])
+        assert program.extract(doc) == ["8:18 PM"]
+
+    def test_later_strategy_handles_other_layout(self):
+        domain = FakeDomain()
+        doc = FakeDoc(
+            ["Depart:", "8:18 PM", "Arrive:", "Depart:", "gap", "2:02 PM"]
+        )
+        narrow = strategy("Depart:", 1, 1, frozenset({"Depart:"}), COMMON)
+        wide = strategy("Depart:", 2, 2, frozenset({"Depart:"}), COMMON)
+        program = make_program(domain, [narrow, wide])
+        values = program.extract(doc)
+        assert "8:18 PM" in values
+
+    def test_allowed_locations_filter(self):
+        domain = FakeDomain()
+        doc = FakeDoc(
+            ["Depart:", "8:18 PM", "pad", "Depart:", "2:02 PM"]
+        )
+        program = make_program(
+            domain,
+            [strategy("Depart:", 1, 1, frozenset({"Depart:"}), COMMON)],
+        )
+        # Restrict to the second occurrence only (hierarchical narrowing).
+        assert program.extract(doc, allowed_locations=[3]) == ["2:02 PM"]
+
+    def test_empty_strategies_returns_none(self):
+        program = make_program(FakeDomain(), [])
+        assert program.extract(FakeDoc(["x"])) is None
+
+    def test_size_sums_components(self):
+        s = strategy("Depart:", 1, 1, frozenset(), COMMON)
+        program = make_program(FakeDomain(), [s, s])
+        assert program.size() == 4
+
+    def test_landmarks_listing(self):
+        s1 = strategy("Depart:", 1, 1, frozenset(), COMMON)
+        s2 = strategy("Arrive:", 1, 1, frozenset(), COMMON)
+        program = make_program(FakeDomain(), [s1, s2])
+        assert program.landmarks() == ["Depart:", "Arrive:"]
+
+
+class TestProgramExtractor:
+    def test_wraps_program(self):
+        domain = FakeDomain()
+        doc = FakeDoc(["Depart:", "8:18 PM"])
+        program = make_program(
+            domain,
+            [strategy("Depart:", 1, 1, frozenset({"Depart:"}), COMMON)],
+        )
+        extractor = ProgramExtractor(program)
+        assert extractor.extract(doc) == ["8:18 PM"]
+        assert extractor.size() == program.size()

@@ -1,0 +1,114 @@
+"""Tests for hierarchical landmarks (Section 6.1) on real HTML documents."""
+
+from repro.core.hierarchy import (
+    HierarchicalProgram,
+    maybe_hierarchical,
+    _overextracts,
+)
+from repro.core.dsl import ProgramExtractor
+from repro.core.synthesis import lrsyn
+from repro.core.document import Annotation, AnnotationGroup, TrainingExample
+from repro.html.domain import HtmlDomain
+from repro.html.parser import parse_html
+
+
+def flight_email(times, car_time=None):
+    """An email whose AIR blocks use 'Depart:'; an optional car section
+    reuses the label with an identical row layout."""
+    blocks = []
+    for t in times:
+        blocks.append(
+            "<table><tr><td>AIR</td><td>Meal</td></tr>"
+            f"<tr><td>Depart:</td><td>{t}</td></tr></table>"
+        )
+    if car_time is not None:
+        blocks.append(
+            "<table><tr><td>CAR</td><td>Rental</td></tr>"
+            f"<tr><td>Depart:</td><td>{car_time}</td></tr></table>"
+        )
+    return parse_html(
+        "<html><body><div>Itinerary</div>"
+        + "".join(blocks)
+        + "<div>bye</div></body></html>"
+    )
+
+
+def example_for(doc, times):
+    nodes = [
+        node
+        for node in doc.elements()
+        if node.tag == "td" and node.text_content() in times
+    ]
+    groups = [
+        AnnotationGroup(locations=(node,), value=node.text_content())
+        for node in nodes
+    ]
+    return TrainingExample(doc=doc, annotation=Annotation(groups=groups))
+
+
+def build_corpus(include_car: bool):
+    examples = []
+    data = [
+        (["8:18 PM"], "3:33 PM"),
+        (["2:02 PM", "9:01 AM"], "4:44 PM"),
+        (["7:07 AM"], None),
+        (["1:11 PM"], "5:55 PM"),
+    ]
+    for times, car in data:
+        doc = flight_email(times, car if include_car else None)
+        examples.append(example_for(doc, times))
+    return examples
+
+
+class TestOverextraction:
+    def test_clean_corpus_does_not_overextract(self):
+        domain = HtmlDomain()
+        examples = build_corpus(include_car=False)
+        program = lrsyn(domain, examples)
+        assert not _overextracts(program, examples)
+
+    def test_ambiguous_landmark_overextracts(self):
+        domain = HtmlDomain()
+        examples = build_corpus(include_car=True)
+        program = lrsyn(domain, examples)
+        assert _overextracts(program, examples)
+
+
+class TestMaybeHierarchical:
+    def test_clean_corpus_stays_flat(self):
+        domain = HtmlDomain()
+        examples = build_corpus(include_car=False)
+        program = lrsyn(domain, examples)
+        extractor = maybe_hierarchical(domain, program, examples)
+        assert isinstance(extractor, ProgramExtractor)
+
+    def test_ambiguous_corpus_becomes_hierarchical(self):
+        domain = HtmlDomain()
+        examples = build_corpus(include_car=True)
+        program = lrsyn(domain, examples)
+        extractor = maybe_hierarchical(domain, program, examples)
+        assert isinstance(extractor, HierarchicalProgram)
+
+    def test_hierarchical_program_rejects_spurious_occurrence(self):
+        domain = HtmlDomain()
+        examples = build_corpus(include_car=True)
+        program = lrsyn(domain, examples)
+        extractor = maybe_hierarchical(domain, program, examples)
+        test_doc = flight_email(["6:30 AM"], car_time="9:59 PM")
+        assert extractor.extract(test_doc) == ["6:30 AM"]
+
+    def test_hierarchical_program_keeps_multi_leg_extraction(self):
+        domain = HtmlDomain()
+        examples = build_corpus(include_car=True)
+        program = lrsyn(domain, examples)
+        extractor = maybe_hierarchical(domain, program, examples)
+        test_doc = flight_email(["6:30 AM", "11:45 PM"], car_time="9:59 PM")
+        assert extractor.extract(test_doc) == ["6:30 AM", "11:45 PM"]
+
+    def test_size_combines_levels(self):
+        domain = HtmlDomain()
+        examples = build_corpus(include_car=True)
+        program = lrsyn(domain, examples)
+        extractor = maybe_hierarchical(domain, program, examples)
+        if isinstance(extractor, HierarchicalProgram):
+            assert extractor.size() > program.size()

@@ -1,0 +1,138 @@
+"""Tests for precision/recall/F1 scoring (repro.core.metrics)."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import Score, mean, score_corpus, score_document
+
+
+class TestScore:
+    def test_empty_score_is_perfect(self):
+        score = Score()
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_perfect_counts(self):
+        score = Score(exact=5, recalled=5, predicted=5, gold=5)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_precision_only(self):
+        score = Score(exact=1, recalled=1, predicted=2, gold=1)
+        assert score.precision == 0.5
+        assert score.recall == 1.0
+        assert math.isclose(score.f1, 2 / 3)
+
+    def test_zero_predictions_with_gold_scores_zero_precision(self):
+        score = Score(exact=0, recalled=0, predicted=0, gold=3)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_addition_accumulates_counts(self):
+        a = Score(1, 1, 2, 2)
+        b = Score(2, 2, 2, 2)
+        total = a + b
+        assert total == Score(3, 3, 4, 4)
+
+
+class TestScoreDocument:
+    def test_exact_match(self):
+        score = score_document(["8:18 PM"], ["8:18 PM"])
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_none_prediction_counts_as_empty(self):
+        score = score_document(None, ["x"])
+        assert score.predicted == 0
+        assert score.gold == 1
+        assert score.recall == 0.0
+
+    def test_containment_recall_but_not_precision(self):
+        # ForgivingXPaths-style whole-node prediction: value is a substring.
+        score = score_document(["Depart: 8:18 PM"], ["8:18 PM"])
+        assert score.recall == 1.0
+        assert score.precision == 0.0
+
+    def test_each_prediction_witnesses_one_gold(self):
+        # One containing prediction cannot recall two gold values.
+        score = score_document(["a b"], ["a", "b"])
+        assert score.recalled == 1
+
+    def test_multiset_precision(self):
+        score = score_document(["x", "x"], ["x"])
+        assert score.exact == 1
+        assert score.predicted == 2
+
+    def test_duplicate_gold_requires_duplicate_predictions(self):
+        score = score_document(["x"], ["x", "x"])
+        assert score.exact == 1
+        assert score.recalled == 1
+        assert score.gold == 2
+
+    def test_empty_gold_empty_prediction_is_perfect(self):
+        score = score_document([], [])
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_spurious_prediction_on_empty_gold(self):
+        score = score_document(["junk"], [])
+        assert score.precision == 0.0
+        assert score.recall == 1.0
+
+
+class TestScoreCorpus:
+    def test_aggregates_documents(self):
+        total = score_corpus(
+            [
+                (["a"], ["a"]),
+                (["b"], ["c"]),
+            ]
+        )
+        assert total.predicted == 2
+        assert total.gold == 2
+        assert total.exact == 1
+
+    def test_empty_corpus(self):
+        total = score_corpus([])
+        assert total.gold == 0
+
+
+@given(
+    st.lists(st.text(min_size=1, max_size=6), max_size=6),
+    st.lists(st.text(min_size=1, max_size=6), max_size=6),
+)
+def test_score_bounds(predicted, gold):
+    score = score_document(predicted, gold)
+    assert 0.0 <= score.precision <= 1.0
+    assert 0.0 <= score.recall <= 1.0
+    assert 0.0 <= score.f1 <= 1.0
+
+
+@given(st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=6))
+def test_identical_lists_score_perfectly(values):
+    score = score_document(values, values)
+    assert score.precision == 1.0
+    assert score.recall == 1.0
+    assert score.f1 == 1.0
+
+
+@given(
+    st.lists(st.text(min_size=1, max_size=6), max_size=6),
+    st.lists(st.text(min_size=1, max_size=6), max_size=6),
+)
+def test_f1_between_harmonic_bounds(predicted, gold):
+    score = score_document(predicted, gold)
+    if score.f1 > 0:
+        # The harmonic mean lies between its arguments.
+        assert score.f1 <= max(score.precision, score.recall) + 1e-9
+        assert score.f1 >= min(score.precision, score.recall) - 1e-9
+
+
+def test_mean():
+    assert mean([]) == 0.0
+    assert mean([1.0, 0.0]) == 0.5

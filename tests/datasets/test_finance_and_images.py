@@ -1,0 +1,104 @@
+"""Tests for the Finance and M2H-Images dataset generators."""
+
+import pytest
+
+from repro.datasets import finance, m2h_images
+
+
+class TestFinance:
+    def test_field_count_is_34(self):
+        total = sum(len(fields) for fields in finance.FINANCE_FIELDS.values())
+        assert total == 34  # Table 3's 34 extraction tasks
+
+    @pytest.mark.parametrize("doc_type", finance.DOC_TYPES)
+    def test_generators_produce_truth(self, doc_type):
+        corpus = finance.generate_corpus(
+            doc_type, train_size=3, test_size=2, seed=0
+        )
+        for field_name in finance.FINANCE_FIELDS[doc_type]:
+            golds = [d.gold(field_name) for d in corpus.train]
+            assert any(golds), f"{doc_type}.{field_name} never populated"
+
+    def test_annotation_fragments_carry_full_value(self):
+        corpus = finance.generate_corpus(
+            "AccountsInvoice", train_size=5, test_size=0, seed=0
+        )
+        for labeled in corpus.train:
+            annotation = labeled.annotation("Chassis")
+            assert len(annotation.groups) == 1
+            group = annotation.groups[0]
+            assert group.value == labeled.gold("Chassis")[0]
+            joined = " ".join(
+                box.text
+                for box in sorted(group.locations, key=lambda b: b.x)
+            )
+            assert joined == group.value
+
+    def test_engine_optional(self):
+        corpus = finance.generate_corpus(
+            "AccountsInvoice", train_size=0, test_size=40, seed=0
+        )
+        presence = [bool(d.gold("Engine")) for d in corpus.test]
+        assert any(presence) and not all(presence)
+
+    def test_determinism(self):
+        a = finance.generate_corpus("CreditNote", 3, 2, seed=5)
+        b = finance.generate_corpus("CreditNote", 3, 2, seed=5)
+        assert [d.truth for d in a.train] == [d.truth for d in b.train]
+
+    def test_example_5_2_label_row_layout(self):
+        """Engine number label row: Chassis left, Reg Date right, value
+        below (the BoxSummary of Example 5.2)."""
+        corpus = finance.generate_corpus("AccountsInvoice", 1, 0, seed=0)
+        doc = corpus.train[0].doc
+        engine_label = doc.find_by_text("Engine number")[0]
+        from repro.images.boxes import BOTTOM, LEFT, RIGHT
+
+        left = doc.neighbor(engine_label, LEFT)
+        right = doc.neighbor(engine_label, RIGHT)
+        assert "Chassis" in left.text
+        assert "Reg Date" in right.text
+
+
+class TestM2hImages:
+    def test_four_providers(self):
+        assert len(m2h_images.IMAGE_PROVIDERS) == 4
+        assert "airasia" not in m2h_images.IMAGE_PROVIDERS
+
+    def test_documents_have_boxes_and_truth(self):
+        corpus = m2h_images.generate_corpus(
+            "getthere", train_size=2, test_size=2, seed=0
+        )
+        labeled = corpus.train[0]
+        assert len(labeled.doc.boxes) > 10
+        assert labeled.gold("DTime")
+
+    def test_alaska_date_label_removed(self):
+        """The Table 4 '-' case: no 'Travel Date' label near the value."""
+        corpus = m2h_images.generate_corpus(
+            "iflyalaskaair", train_size=3, test_size=0, seed=0
+        )
+        for labeled in corpus.train:
+            assert not labeled.doc.find_by_text("Travel Date")
+            assert labeled.gold("DDate")  # the value itself is still there
+
+    def test_annotations_recoverable_after_ocr(self):
+        corpus = m2h_images.generate_corpus(
+            "getthere", train_size=4, test_size=0, seed=0
+        )
+        for labeled in corpus.train:
+            annotation = labeled.annotation("DTime")
+            assert sorted(annotation.aggregate()) == sorted(
+                labeled.gold("DTime")
+            )
+
+    def test_determinism(self):
+        a = m2h_images.generate_corpus("aeromexico", 2, 1, seed=9)
+        b = m2h_images.generate_corpus("aeromexico", 2, 1, seed=9)
+        assert [
+            [(box.text, round(box.x, 3)) for box in d.doc.boxes]
+            for d in a.train
+        ] == [
+            [(box.text, round(box.x, 3)) for box in d.doc.boxes]
+            for d in b.train
+        ]

@@ -1,0 +1,140 @@
+"""Tests for the M2H email dataset generators (repro.datasets.m2h)."""
+
+import pytest
+
+from repro.datasets import fields as F
+from repro.datasets import m2h
+from repro.datasets.base import CONTEMPORARY, LONGITUDINAL
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return {
+        provider: m2h.generate_corpus(
+            provider, train_size=8, test_size=8, seed=0
+        )
+        for provider in m2h.PROVIDERS
+    }
+
+
+class TestGeneration:
+    def test_all_providers_generate(self, corpora):
+        for provider, corpus in corpora.items():
+            assert len(corpus.train) == 8
+            assert len(corpus.test) == 8
+
+    def test_truth_covers_fields(self, corpora):
+        for provider, corpus in corpora.items():
+            for field_name in m2h.fields_for(provider):
+                assert corpus.train[0].gold(field_name)
+
+    def test_pvdr_missing_for_alaska(self, corpora):
+        labeled = corpora["iflyalaskaair"].train[0]
+        assert labeled.gold(F.PVDR) == []
+        assert F.PVDR not in m2h.fields_for("iflyalaskaair")
+
+    def test_annotations_match_truth(self, corpora):
+        """Every annotated node's recorded value equals the gold value, and
+        the annotation yields the gold aggregate in order."""
+        for provider, corpus in corpora.items():
+            for labeled in corpus.train[:3]:
+                for field_name in m2h.fields_for(provider):
+                    annotation = labeled.annotation(field_name)
+                    assert annotation.aggregate() == labeled.gold(field_name)
+
+    def test_annotation_values_are_node_substrings(self, corpora):
+        for provider, corpus in corpora.items():
+            labeled = corpus.train[0]
+            for field_name in m2h.fields_for(provider):
+                for group in labeled.annotation(field_name).groups:
+                    node_text = group.locations[0].text_content()
+                    assert group.value in node_text
+
+    def test_determinism(self):
+        a = m2h.generate_corpus("delta", train_size=3, test_size=3, seed=7)
+        b = m2h.generate_corpus("delta", train_size=3, test_size=3, seed=7)
+        assert [d.doc.source for d in a.train] == [
+            d.doc.source for d in b.train
+        ]
+
+    def test_seeds_differ(self):
+        a = m2h.generate_corpus("delta", train_size=3, test_size=0, seed=1)
+        b = m2h.generate_corpus("delta", train_size=3, test_size=0, seed=2)
+        assert [d.doc.source for d in a.train] != [
+            d.doc.source for d in b.train
+        ]
+
+    def test_training_set_identical_across_settings(self):
+        cont = m2h.generate_corpus(
+            "getthere", train_size=5, test_size=2, setting=CONTEMPORARY, seed=3
+        )
+        long = m2h.generate_corpus(
+            "getthere", train_size=5, test_size=2, setting=LONGITUDINAL, seed=3
+        )
+        assert [d.doc.source for d in cont.train] == [
+            d.doc.source for d in long.train
+        ]
+
+
+class TestDrift:
+    def test_longitudinal_adds_sections(self):
+        corpus = m2h.generate_corpus(
+            "getthere", train_size=0, test_size=60,
+            setting=LONGITUDINAL, seed=0,
+        )
+        sources = [d.doc.source for d in corpus.test]
+        assert any("HOTEL" in s for s in sources)
+        assert any("rebrand" in s for s in sources)
+
+    def test_contemporary_has_no_hotel_blocks(self):
+        corpus = m2h.generate_corpus(
+            "getthere", train_size=0, test_size=40,
+            setting=CONTEMPORARY, seed=0,
+        )
+        assert all("HOTEL" not in d.doc.source for d in corpus.test)
+
+    def test_aeromexico_ids_survive_drift(self):
+        corpus = m2h.generate_corpus(
+            "aeromexico", train_size=0, test_size=30,
+            setting=LONGITUDINAL, seed=0,
+        )
+        for labeled in corpus.test:
+            assert 'id="departure-time"' in labeled.doc.source
+
+    def test_airasia_wrappers_vary(self):
+        corpus = m2h.generate_corpus(
+            "airasia", train_size=0, test_size=25, seed=0
+        )
+        depths = set()
+        for labeled in corpus.test:
+            node = labeled.doc.find_by_text("Departs")[0]
+            depths.add(node.depth)
+        assert len(depths) > 1
+
+
+class TestItineraryModel:
+    def test_field_values_shape(self):
+        import random
+
+        itinerary = F.random_itinerary(random.Random(0), "P", "XX", 2, 2)
+        values = itinerary.field_values()
+        assert len(values[F.DTIME]) == 2
+        assert values[F.NAME] == [itinerary.name]
+        assert len(values[F.RID][0]) == 6
+
+    def test_random_time_format(self):
+        import random
+        import re
+
+        rng = random.Random(0)
+        for _ in range(50):
+            assert re.fullmatch(
+                r"\d{1,2}:\d{2} [AP]M", F.random_time(rng)
+            )
+
+    def test_random_flight_airline_code(self):
+        import random
+
+        flight = F.random_flight(random.Random(0), "QQ")
+        assert flight.fnum.startswith("QQ ")
+        assert flight.diata != flight.aiata

@@ -1,0 +1,132 @@
+"""Tests for the experiment harness (runner + reporting)."""
+
+import math
+
+from repro.core.document import SynthesisFailure, TrainingExample
+from repro.core.dsl import Extractor
+from repro.core.metrics import Score
+from repro.datasets import m2h
+from repro.harness.runner import (
+    FieldResult,
+    Method,
+    average,
+    evaluate_method,
+    m2h_corpora,
+    scaled,
+)
+from repro.harness.reporting import (
+    overall_scores_table,
+    per_field_table,
+    render_table,
+    wins_summary,
+)
+from repro.datasets.base import CONTEMPORARY, LONGITUDINAL
+
+
+class OracleMethod(Method):
+    """Returns the gold values of the training docs' field (cheating stub)."""
+
+    name = "Oracle"
+
+    def __init__(self, field_name):
+        self.field_name = field_name
+
+    def train(self, examples):
+        field_name = self.field_name
+
+        class OracleExtractor(Extractor):
+            def extract(self, doc):
+                # The harness pairs predictions against the same labeled
+                # docs, so an extractor that re-reads the annotation
+                # attributes is exact.
+                from repro.datasets.base import annotation_attr
+
+                attr = annotation_attr(field_name)
+                values = [
+                    node.attrs[attr]
+                    for node in doc.elements()
+                    if attr in node.attrs
+                ]
+                return values or None
+
+        return OracleExtractor()
+
+
+class FailingMethod(Method):
+    name = "Failing"
+
+    def train(self, examples):
+        raise SynthesisFailure("nope")
+
+
+class TestEvaluateMethod:
+    def test_oracle_scores_perfectly(self):
+        corpora = m2h_corpora("delta", train_size=3, test_size=4, seed=0)
+        results = evaluate_method(
+            OracleMethod("DTime"), corpora, "delta", "DTime"
+        )
+        assert len(results) == 2
+        assert all(r.f1 == 1.0 for r in results)
+        assert {r.setting for r in results} == {CONTEMPORARY, LONGITUDINAL}
+
+    def test_synthesis_failure_yields_nan(self):
+        corpora = m2h_corpora("delta", train_size=2, test_size=2, seed=0)
+        results = evaluate_method(FailingMethod(), corpora, "delta", "DTime")
+        assert all(r.score is None for r in results)
+        assert all(math.isnan(r.f1) for r in results)
+
+
+class TestHelpers:
+    def test_average_ignores_nan(self):
+        assert average([1.0, math.nan, 0.0]) == 0.5
+
+    def test_average_all_nan_is_nan(self):
+        assert math.isnan(average([math.nan]))
+
+    def test_scaled_minimum(self):
+        assert scaled(10, minimum=8) >= 8
+
+
+def fake_results():
+    def result(method, provider, field, setting, f1):
+        score = Score(
+            exact=int(f1 * 100), recalled=int(f1 * 100),
+            predicted=100, gold=100,
+        )
+        return FieldResult(method, provider, field, setting, score)
+
+    return [
+        result("A", "p", "f1", CONTEMPORARY, 1.0),
+        result("A", "p", "f2", CONTEMPORARY, 0.5),
+        result("B", "p", "f1", CONTEMPORARY, 0.8),
+        result("B", "p", "f2", CONTEMPORARY, 0.5),
+        FieldResult("B", "p", "f3", CONTEMPORARY, None),
+        result("A", "p", "f3", CONTEMPORARY, 1.0),
+    ]
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        table = render_table(["a", "bb"], [["x", "y"]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+
+    def test_overall_scores(self):
+        text = overall_scores_table(
+            fake_results(), ["A", "B"], CONTEMPORARY, "Overall"
+        )
+        assert "Avg. F1" in text
+        assert "0.83" in text  # A's average F1 over f1,f2,f3
+
+    def test_per_field_table_has_nan(self):
+        text = per_field_table(
+            fake_results(), ["A", "B"], [CONTEMPORARY], "Fields"
+        )
+        assert "NaN" in text
+
+    def test_wins_summary_counts(self):
+        text = wins_summary(fake_results(), "A", "B", CONTEMPORARY)
+        assert "wins 2" in text
+        assert "ties 1" in text
+        assert "losses 0" in text

@@ -1,0 +1,116 @@
+"""Tests for HTML blueprints (repro.html.blueprint)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.html import blueprint as bp
+from repro.html.parser import parse_html
+from repro.html.region import enclosing_region
+
+
+def email(extra_sections=""):
+    return parse_html(
+        f"<html><body><div>Header</div>{extra_sections}"
+        "<table><tr><td>Depart:</td><td>8:18 PM</td></tr></table>"
+        "</body></html>"
+    )
+
+
+class TestDocumentBlueprint:
+    def test_same_template_same_blueprint(self):
+        assert bp.document_blueprint(email()) == bp.document_blueprint(email())
+
+    def test_extra_structure_changes_blueprint(self):
+        plain = bp.document_blueprint(email())
+        drifted = bp.document_blueprint(email("<ul><li>ad</li></ul>"))
+        assert plain != drifted
+
+    def test_repeated_sections_do_not_change_blueprint(self):
+        # Blueprints are sets of simplified paths: adding another copy of an
+        # existing shape (a second identical table) adds no new path.
+        one = email()
+        two = parse_html(
+            "<html><body><div>Header</div>"
+            "<table><tr><td>Depart:</td><td>8:18 PM</td></tr></table>"
+            "<table><tr><td>Depart:</td><td>2:02 PM</td></tr></table>"
+            "</body></html>"
+        )
+        assert bp.document_blueprint(one) == bp.document_blueprint(two)
+
+
+class TestCommonTextValues:
+    def test_labels_are_common_values_variable_text_is_not(self):
+        common = bp.common_text_values(
+            [
+                email(),
+                parse_html(
+                    "<html><body><div>Header</div>"
+                    "<table><tr><td>Depart:</td><td>2:02 PM</td></tr></table>"
+                    "</body></html>"
+                ),
+            ]
+        )
+        assert "Depart:" in common
+        assert "8:18 PM" not in common
+
+    def test_long_texts_excluded(self):
+        long_text = "x " * 60
+        docs = [
+            parse_html(f"<div><p>{long_text}</p><p>short</p></div>")
+            for _ in range(2)
+        ]
+        common = bp.common_text_values(docs)
+        assert "short" in common
+        assert all(len(text) <= bp.MAX_COMMON_VALUE_LENGTH for text in common)
+
+
+class TestRegionBlueprint:
+    def region(self, doc):
+        landmark = doc.find_by_text("Depart:")[0]
+        value = doc.find_by_text("8:18 PM")[0]
+        return enclosing_region([landmark, value])
+
+    def test_invariant_to_outside_changes(self):
+        plain = email()
+        drifted = email("<ul><li>ad</li></ul><div><p>promo</p></div>")
+        common = frozenset({"Depart:"})
+        assert bp.region_blueprint(self.region(plain), common) == (
+            bp.region_blueprint(self.region(drifted), common)
+        )
+
+    def test_common_value_entries_present(self):
+        blueprint = bp.region_blueprint(
+            self.region(email()), frozenset({"Depart:"})
+        )
+        assert "td:Depart:" in blueprint
+        assert "td" in blueprint
+
+    def test_variable_values_do_not_appear(self):
+        blueprint = bp.region_blueprint(
+            self.region(email()), frozenset({"Depart:"})
+        )
+        assert not any("8:18" in entry for entry in blueprint)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert bp.jaccard_distance(frozenset("ab"), frozenset("ab")) == 0.0
+
+    def test_disjoint(self):
+        assert bp.jaccard_distance(frozenset("a"), frozenset("b")) == 1.0
+
+    def test_empty_sets(self):
+        assert bp.jaccard_distance(frozenset(), frozenset()) == 0.0
+
+    @given(
+        st.frozensets(st.text(max_size=3), max_size=8),
+        st.frozensets(st.text(max_size=3), max_size=8),
+    )
+    def test_property_bounds_and_symmetry(self, a, b):
+        d = bp.jaccard_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == bp.jaccard_distance(b, a)
+
+    @given(st.frozensets(st.text(max_size=3), max_size=8))
+    def test_property_identity(self, a):
+        assert bp.jaccard_distance(a, a) == 0.0

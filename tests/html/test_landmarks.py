@@ -1,0 +1,98 @@
+"""Tests for HTML landmark candidates (repro.html.landmarks)."""
+
+from repro.core.document import Annotation, AnnotationGroup, TrainingExample
+from repro.html import landmarks as lm
+from repro.html.parser import parse_html
+
+
+def email(time):
+    return parse_html(
+        "<html><body><div>Welcome traveler</div>"
+        "<table>"
+        "<tr><td>Flight</td><td>AS 100</td></tr>"
+        f"<tr><td>Departs</td><td>{time}</td></tr>"
+        "</table>"
+        "<div>Goodbye</div></body></html>"
+    )
+
+
+def example(time):
+    doc = email(time)
+    node = doc.find_by_text(time)[0]
+    return TrainingExample(
+        doc=doc,
+        annotation=Annotation(
+            groups=[AnnotationGroup(locations=(node,), value=time)]
+        ),
+    )
+
+
+class TestNgrams:
+    def test_ngrams_of_text(self):
+        grams = lm.ngrams_of_text("a b c")
+        assert {"a", "b", "c", "a b", "b c", "a b c"} <= grams
+
+    def test_max_n_respected(self):
+        grams = lm.ngrams_of_text("a b c d e f", max_n=2)
+        assert "a b c" not in grams
+
+    def test_shared_ngrams_from_invariant_texts_only(self):
+        shared = lm.shared_ngrams([email("8:18 PM"), email("2:02 PM")])
+        assert "Departs" in shared
+        # The variable time text is not invariant, so its grams are absent.
+        assert "8:18 PM" not in shared
+        assert "PM" not in shared
+
+    def test_stopword_grams_filtered(self):
+        shared = lm.shared_ngrams([email("8:18 PM"), email("2:02 PM")])
+        assert "to" not in shared
+
+
+class TestCandidates:
+    def test_nearest_label_wins(self):
+        examples = [example("8:18 PM"), example("2:02 PM")]
+        candidates = lm.landmark_candidates(examples)
+        assert candidates
+        assert candidates[0].value == "Departs"
+
+    def test_value_substring_grams_excluded(self):
+        # A gram contained in an annotated value must not become a landmark.
+        docs = []
+        for t in ("8:18 PM", "2:02 PM"):
+            doc = parse_html(
+                "<html><body>"
+                f"<table><tr><td>Departs</td><td>{t}</td></tr>"
+                "<tr><td>Carrier</td><td>AirAsia</td></tr></table>"
+                "</body></html>"
+            )
+            node = doc.find_by_text("AirAsia")[0]
+            docs.append(
+                TrainingExample(
+                    doc=doc,
+                    annotation=Annotation(
+                        groups=[
+                            AnnotationGroup(
+                                locations=(node,), value="AirAsia"
+                            )
+                        ]
+                    ),
+                )
+            )
+        candidates = lm.landmark_candidates(docs)
+        values = [c.value for c in candidates]
+        assert "AirAsia" not in values
+        assert "Carrier" in values
+
+    def test_max_candidates_cap(self):
+        examples = [example("8:18 PM"), example("2:02 PM")]
+        candidates = lm.landmark_candidates(examples, max_candidates=3)
+        assert len(candidates) <= 3
+
+    def test_empty_examples(self):
+        assert lm.landmark_candidates([]) == []
+
+    def test_scores_are_descending(self):
+        examples = [example("8:18 PM"), example("2:02 PM")]
+        candidates = lm.landmark_candidates(examples)
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)

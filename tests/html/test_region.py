@@ -1,0 +1,82 @@
+"""Tests for HTML regions (repro.html.region)."""
+
+import pytest
+
+from repro.html.parser import parse_html
+from repro.html.region import HtmlRegion, enclosing_region
+
+SAMPLE = """
+<html><body>
+  <table>
+    <tr><td>AIR</td></tr>
+    <tr><td>Depart:</td><td>8:18 PM</td><td>Meal</td></tr>
+    <tr><td>Arrive:</td><td>2:02 PM</td></tr>
+  </table>
+</body></html>
+"""
+
+
+def find(doc, text):
+    return doc.find_by_text(text)[0]
+
+
+class TestEnclosingRegion:
+    def test_siblings_span(self):
+        doc = parse_html(SAMPLE)
+        region = enclosing_region([find(doc, "Depart:"), find(doc, "8:18 PM")])
+        assert region.parent.tag == "tr"
+        assert (region.start, region.end) == (0, 1)
+
+    def test_cross_row_span(self):
+        doc = parse_html(SAMPLE)
+        region = enclosing_region([find(doc, "Depart:"), find(doc, "2:02 PM")])
+        assert region.parent.tag == "table"
+        assert (region.start, region.end) == (1, 2)
+
+    def test_single_location(self):
+        doc = parse_html(SAMPLE)
+        node = find(doc, "AIR")
+        region = enclosing_region([node])
+        assert region.roots() == [node]
+
+    def test_location_that_is_the_ancestor(self):
+        doc = parse_html(SAMPLE)
+        row = find(doc, "Depart:").parent
+        region = enclosing_region([row, find(doc, "8:18 PM")])
+        assert region.roots() == [row]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            enclosing_region([])
+
+
+class TestHtmlRegion:
+    def test_locations_cover_subtrees(self):
+        doc = parse_html(SAMPLE)
+        table = find(doc, "AIR").parent.parent
+        region = HtmlRegion(parent=table, start=1, end=1)
+        texts = {node.text_content() for node in region.locations()}
+        assert "Depart: 8:18 PM Meal" in texts
+        assert "8:18 PM" in texts
+
+    def test_contains(self):
+        doc = parse_html(SAMPLE)
+        region = enclosing_region([find(doc, "Depart:"), find(doc, "8:18 PM")])
+        assert region.contains(find(doc, "8:18 PM"))
+        assert not region.contains(find(doc, "AIR"))
+
+    def test_contains_excludes_outside_span(self):
+        doc = parse_html(SAMPLE)
+        region = enclosing_region([find(doc, "Depart:"), find(doc, "8:18 PM")])
+        # The span is td[1..2]; "Meal" is td 3 and lies outside.
+        assert not region.contains(find(doc, "Meal"))
+
+    def test_text_content(self):
+        doc = parse_html(SAMPLE)
+        region = enclosing_region([find(doc, "Depart:"), find(doc, "8:18 PM")])
+        assert region.text_content() == "Depart: 8:18 PM"
+
+    def test_len(self):
+        doc = parse_html(SAMPLE)
+        region = enclosing_region([find(doc, "Depart:"), find(doc, "8:18 PM")])
+        assert len(region) == 2

@@ -1,0 +1,124 @@
+"""Tests for the HTML region DSL (repro.html.region_dsl)."""
+
+import pytest
+
+from repro.core.document import SynthesisFailure
+from repro.html.parser import parse_html
+from repro.html.region import enclosing_region
+from repro.html.region_dsl import HtmlRegionProgram, synthesize_region_program
+
+SAMPLE = """
+<html><body>
+  <table>
+    <tr><td>AIR</td></tr>
+    <tr><td>Depart:</td><td>8:18 PM</td><td>Meal</td></tr>
+  </table>
+</body></html>
+"""
+
+
+def find(doc, text):
+    return doc.find_by_text(text)[0]
+
+
+class TestSemantics:
+    def test_zero_hops_is_landmark_span(self):
+        doc = parse_html(SAMPLE)
+        program = HtmlRegionProgram(0, 0, 0)
+        region = program(doc, find(doc, "Depart:"))
+        assert region.roots() == [find(doc, "Depart:")]
+
+    def test_sibling_hop_right(self):
+        # Figure 3's program: parentHops 0, siblingHops 1.
+        doc = parse_html(SAMPLE)
+        program = HtmlRegionProgram(0, 0, 1)
+        region = program(doc, find(doc, "Depart:"))
+        assert region.text_content() == "Depart: 8:18 PM"
+
+    def test_parent_hop(self):
+        doc = parse_html(SAMPLE)
+        program = HtmlRegionProgram(1, 0, 0)
+        region = program(doc, find(doc, "Depart:"))
+        assert region.roots()[0].tag == "tr"
+
+    def test_hops_clamp_at_edges(self):
+        doc = parse_html(SAMPLE)
+        program = HtmlRegionProgram(0, 5, 9)
+        region = program(doc, find(doc, "Depart:"))
+        assert region.start == 0
+        assert region.text_content() == "Depart: 8:18 PM Meal"
+
+    def test_excessive_parent_hops_is_none(self):
+        doc = parse_html(SAMPLE)
+        program = HtmlRegionProgram(99, 0, 0)
+        assert program(doc, find(doc, "Depart:")) is None
+
+    def test_paper_rendering(self):
+        assert str(HtmlRegionProgram(0, 0, 1)) == (
+            "parentHops : 0, siblingHops : 1"
+        )
+
+    def test_size(self):
+        assert HtmlRegionProgram(0, 0, 1).size() == 2
+
+
+class TestSynthesis:
+    def test_figure3_example(self):
+        doc = parse_html(SAMPLE)
+        landmark = find(doc, "Depart:")
+        region = enclosing_region([landmark, find(doc, "8:18 PM")])
+        program = synthesize_region_program([(doc, landmark, region)])
+        assert program.parent_hops == 0
+        assert program.sibling_hops == 1
+
+    def test_hops_maximized_over_examples(self):
+        doc1 = parse_html(SAMPLE)
+        doc2 = parse_html(SAMPLE.replace(
+            "<td>8:18 PM</td><td>Meal</td>", "<td>x</td><td>8:18 PM</td>"
+        ))
+        examples = []
+        for doc in (doc1, doc2):
+            landmark = find(doc, "Depart:")
+            region = enclosing_region([landmark, find(doc, "8:18 PM")])
+            examples.append((doc, landmark, region))
+        program = synthesize_region_program(examples)
+        assert program.right_hops == 2
+
+    def test_landmark_left_of_value_needs_left_hops(self):
+        source = SAMPLE.replace(
+            "<td>Depart:</td><td>8:18 PM</td>",
+            "<td>8:18 PM</td><td>Depart:</td>",
+        )
+        doc = parse_html(source)
+        landmark = find(doc, "Depart:")
+        region = enclosing_region([landmark, find(doc, "8:18 PM")])
+        program = synthesize_region_program([(doc, landmark, region)])
+        assert program.left_hops == 1
+        produced = program(doc, landmark)
+        assert produced.contains(find(doc, "8:18 PM"))
+
+    def test_cross_row_region(self):
+        doc = parse_html(SAMPLE)
+        landmark = find(doc, "AIR")
+        region = enclosing_region([landmark, find(doc, "8:18 PM")])
+        program = synthesize_region_program([(doc, landmark, region)])
+        produced = program(doc, landmark)
+        assert produced.contains(find(doc, "8:18 PM"))
+
+    def test_no_examples_raises(self):
+        with pytest.raises(SynthesisFailure):
+            synthesize_region_program([])
+
+    def test_synthesized_program_covers_all_examples(self):
+        docs = [parse_html(SAMPLE) for _ in range(3)]
+        examples = []
+        for doc in docs:
+            landmark = find(doc, "Depart:")
+            region = enclosing_region([landmark, find(doc, "8:18 PM")])
+            examples.append((doc, landmark, region))
+        program = synthesize_region_program(examples)
+        for doc, landmark, region in examples:
+            produced = program(doc, landmark)
+            needed = {id(n) for n in region.locations()}
+            got = {id(n) for n in produced.locations()}
+            assert needed <= got

@@ -1,0 +1,111 @@
+"""Tests for region-relative selectors (repro.html.selectors)."""
+
+from repro.html.parser import parse_html
+from repro.html.region import enclosing_region
+from repro.html.selectors import (
+    ByClassSelector,
+    ByIdSelector,
+    RelPathSelector,
+    Step,
+    path_steps,
+)
+
+SAMPLE = """
+<html><body>
+  <table>
+    <tr><th>Flight</th><th>Departs</th></tr>
+    <tr><td class="num" id="f1">AS 100</td><td>8:18 PM</td></tr>
+    <tr><td class="num">AS 200</td><td>2:02 PM</td></tr>
+  </table>
+</body></html>
+"""
+
+
+def region_of(doc):
+    table = doc.find_by_text("Flight")[0].parent.parent
+    return enclosing_region([table])
+
+
+def find(doc, text):
+    return doc.find_by_text(text)[0]
+
+
+class TestByIdSelector:
+    def test_finds_node(self):
+        doc = parse_html(SAMPLE)
+        selector = ByIdSelector("f1")
+        assert selector.select(region_of(doc)).text_content() == "AS 100"
+
+    def test_missing_id(self):
+        doc = parse_html(SAMPLE)
+        assert ByIdSelector("nope").select(region_of(doc)) is None
+
+    def test_size_is_one(self):
+        assert ByIdSelector("x").size() == 1
+
+
+class TestByClassSelector:
+    def test_matches_all_with_class(self):
+        doc = parse_html(SAMPLE)
+        selector = ByClassSelector("td", "num")
+        nodes = selector.select_all(region_of(doc))
+        assert [n.text_content() for n in nodes] == ["AS 100", "AS 200"]
+
+    def test_tag_must_match(self):
+        doc = parse_html(SAMPLE)
+        assert ByClassSelector("span", "num").select_all(region_of(doc)) == []
+
+
+class TestRelPathSelector:
+    def test_indexed_path_selects_single_node(self):
+        doc = parse_html(SAMPLE)
+        selector = RelPathSelector(
+            (Step("table", 1), Step("tr", 2), Step("td", 2))
+        )
+        node = selector.select(region_of(doc))
+        assert node.text_content() == "8:18 PM"
+
+    def test_dropped_index_selects_column(self):
+        doc = parse_html(SAMPLE)
+        selector = RelPathSelector(
+            (Step("table", 1), Step("tr", None), Step("td", 2))
+        )
+        nodes = selector.select_all(region_of(doc))
+        assert [n.text_content() for n in nodes] == ["8:18 PM", "2:02 PM"]
+
+    def test_nth_of_type_skips_other_tags(self):
+        # th rows do not count toward td nth-of-type positions.
+        doc = parse_html(SAMPLE)
+        selector = RelPathSelector(
+            (Step("table", 1), Step("tr", None), Step("td", 1))
+        )
+        nodes = selector.select_all(region_of(doc))
+        assert [n.text_content() for n in nodes] == ["AS 100", "AS 200"]
+
+    def test_no_match_returns_empty(self):
+        doc = parse_html(SAMPLE)
+        selector = RelPathSelector((Step("ul", 1),))
+        assert selector.select_all(region_of(doc)) == []
+
+    def test_size_counts_steps(self):
+        selector = RelPathSelector((Step("a", 1), Step("b", None)))
+        assert selector.size() == 2
+
+    def test_str_rendering(self):
+        selector = RelPathSelector((Step("td", 2),))
+        assert str(selector) == "td:nth-of-type(2)"
+
+
+class TestPathSteps:
+    def test_round_trip(self):
+        doc = parse_html(SAMPLE)
+        region = region_of(doc)
+        target = find(doc, "2:02 PM")
+        steps = path_steps(target, region)
+        assert steps is not None
+        assert RelPathSelector(steps).select(region) is target
+
+    def test_node_outside_region_is_none(self):
+        doc = parse_html(SAMPLE)
+        region = enclosing_region([find(doc, "AS 100")])
+        assert path_steps(find(doc, "2:02 PM"), region) is None

@@ -1,0 +1,125 @@
+"""Tests for the HTML value DSL (repro.html.value_dsl)."""
+
+import pytest
+
+from repro.core.document import SynthesisFailure
+from repro.html.parser import parse_html
+from repro.html.region import enclosing_region
+from repro.html.selectors import ByIdSelector
+from repro.html.value_dsl import HtmlValueProgram, synthesize_value_program
+from repro.text.flashfill import Identity
+
+
+def row_doc(label, cell_text):
+    return parse_html(
+        "<html><body><table>"
+        f"<tr><td>{label}</td><td>{cell_text}</td></tr>"
+        "</table></body></html>"
+    )
+
+
+def find(doc, text):
+    return doc.find_by_text(text)[0]
+
+
+def region_and_group(doc, label, node_text, value):
+    landmark = find(doc, label)
+    node = find(doc, node_text)
+    region = enclosing_region([landmark, node])
+    return region, [((node,), value)]
+
+
+class TestSynthesis:
+    def test_selector_plus_text_program(self):
+        examples = []
+        for time in ("8:18 PM", "2:02 PM"):
+            doc = row_doc("Depart:", f"Friday, Apr 3 {time}")
+            examples.append(
+                region_and_group(doc, "Depart:", f"Friday, Apr 3 {time}", time)
+            )
+        program = synthesize_value_program(examples)
+        test_doc = row_doc("Depart:", "Monday, May 4 7:07 AM")
+        region, _ = region_and_group(
+            test_doc, "Depart:", "Monday, May 4 7:07 AM", "7:07 AM"
+        )
+        assert program(region) == ["7:07 AM"]
+
+    def test_id_selector_preferred(self):
+        doc = parse_html(
+            "<html><body><div><span>Name:</span>"
+            '<span id="who">Alice</span></div></body></html>'
+        )
+        landmark = find(doc, "Name:")
+        node = find(doc, "Alice")
+        region = enclosing_region([landmark, node])
+        program = synthesize_value_program([(region, [((node,), "Alice")])])
+        assert isinstance(program.selector, ByIdSelector)
+
+    def test_multi_node_column_selection(self):
+        # One value per table row: the selector must generalize over rows.
+        def doc_with_rows(times):
+            rows = "".join(
+                f"<tr><td>AS {i}</td><td>{t}</td></tr>"
+                for i, t in enumerate(times)
+            )
+            return parse_html(
+                "<html><body><table><tr><th>Flight</th><th>Departs</th></tr>"
+                f"{rows}</table></body></html>"
+            )
+
+        examples = []
+        for times in (["8:18 PM", "2:02 PM"], ["9:01 AM"]):
+            doc = doc_with_rows(times)
+            table = find(doc, "Flight").parent.parent
+            region = enclosing_region([table])
+            groups = [
+                ((find(doc, t),), t) for t in times
+            ]
+            examples.append((region, groups))
+        program = synthesize_value_program(examples)
+
+        test_doc = doc_with_rows(["7:07 AM", "3:33 PM", "5:55 AM"])
+        table = find(test_doc, "Flight").parent.parent
+        region = enclosing_region([table])
+        assert program(region) == ["7:07 AM", "3:33 PM", "5:55 AM"]
+
+    def test_no_examples_raises(self):
+        with pytest.raises(SynthesisFailure):
+            synthesize_value_program([])
+
+    def test_empty_groups_raise(self):
+        doc = row_doc("Depart:", "8:18 PM")
+        region = enclosing_region([find(doc, "Depart:")])
+        with pytest.raises(SynthesisFailure):
+            synthesize_value_program([(region, [])])
+
+    def test_multi_location_group_raises(self):
+        doc = row_doc("Depart:", "8:18 PM")
+        node = find(doc, "8:18 PM")
+        region = enclosing_region([find(doc, "Depart:"), node])
+        with pytest.raises(SynthesisFailure):
+            synthesize_value_program([(region, [((node, node), "8:18 PM")])])
+
+
+class TestExecution:
+    def test_selector_miss_returns_none(self):
+        doc = row_doc("Depart:", "8:18 PM")
+        region = enclosing_region([find(doc, "Depart:")])
+        program = HtmlValueProgram(
+            selector=ByIdSelector("missing"), text_program=Identity()
+        )
+        assert program(region) is None
+
+    def test_select_all_reports_locations(self):
+        doc = row_doc("Depart:", "8:18 PM")
+        node = find(doc, "8:18 PM")
+        region = enclosing_region([find(doc, "Depart:"), node])
+        program = synthesize_value_program([(region, [((node,), "8:18 PM")])])
+        assert program.select_all(region) == [node]
+
+    def test_size_counts_selector_components(self):
+        doc = row_doc("Depart:", "8:18 PM")
+        node = find(doc, "8:18 PM")
+        region = enclosing_region([find(doc, "Depart:"), node])
+        program = synthesize_value_program([(region, [((node,), "8:18 PM")])])
+        assert program.size() >= 1

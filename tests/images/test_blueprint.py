@@ -1,0 +1,111 @@
+"""Tests for image blueprints (repro.images.blueprint)."""
+
+from repro.images import blueprint as bp
+from repro.images.boxes import ImageDocument, ImageRegion, TextBox
+
+
+def box(text, x, y, w=80, h=20):
+    return TextBox(text=text, x=x, y=y, w=w, h=h)
+
+
+def invoice_page():
+    """The Example 5.2 neighbourhood: Chassis | Engine | Reg Date labels."""
+    return ImageDocument(
+        [
+            box("Chassis number", 0, 0),
+            box("Engine number", 100, 0),
+            box("Reg Date", 200, 0),
+            box("4713872198212", 100, 40),
+        ]
+    )
+
+
+FREQUENT = frozenset({"Chassis number", "Engine number", "Reg Date"})
+
+
+class TestBoxSummary:
+    def test_example_5_2(self):
+        doc = invoice_page()
+        engine_label = doc.boxes[1]
+        summary = bp.box_summary(doc, engine_label, FREQUENT)
+        gram, top, left, right, bottom = summary
+        assert gram == "Engine number"
+        assert top == bp.BOTTOM_TYPE          # no box above
+        assert left == "Chassis number"
+        assert right == "Reg Date"
+        assert bottom == bp.TOP_TYPE          # value box: no frequent gram
+
+    def test_non_frequent_box_has_no_summary(self):
+        doc = invoice_page()
+        value_box = doc.boxes[3]
+        assert bp.box_summary(doc, value_box, FREQUENT) is None
+
+
+class TestFrequentNgrams:
+    def test_labels_in_all_docs_are_frequent(self):
+        docs = [invoice_page(), invoice_page()]
+        frequent = bp.frequent_ngrams(docs)
+        assert any("Chassis" in gram for gram in frequent)
+
+    def test_values_are_not_frequent(self):
+        doc_a = invoice_page()
+        doc_b = ImageDocument(
+            [box(b.text, b.x, b.y) for b in doc_a.boxes[:3]]
+            + [box("9988055435104", 100, 40)]
+        )
+        frequent = bp.frequent_ngrams([doc_a, doc_b])
+        assert "4713872198212" not in frequent
+
+    def test_top_fraction_kept(self):
+        docs = [invoice_page(), invoice_page()]
+        all_grams = bp.frequent_ngrams(docs, keep_fraction=1.0)
+        half_grams = bp.frequent_ngrams(docs, keep_fraction=0.5)
+        assert len(half_grams) <= len(all_grams)
+
+
+class TestRegionBlueprint:
+    def test_blueprint_contains_summaries(self):
+        doc = invoice_page()
+        region = ImageRegion(doc.boxes[:2])
+        blueprint = bp.region_blueprint(doc, region, FREQUENT)
+        grams = {summary[0] for summary in blueprint}
+        assert grams == {"Chassis number", "Engine number"}
+
+
+class TestSummaryDistance:
+    def s(self, gram, *neighbors):
+        return (gram, *neighbors)
+
+    def test_identical(self):
+        a = frozenset({self.s("X", "⊥", "A", "B", "⊤")})
+        assert bp.summary_distance(a, a) == 0.0
+
+    def test_one_neighbor_differs_is_partial(self):
+        a = frozenset({self.s("X", "⊥", "A", "B", "⊤")})
+        b = frozenset({self.s("X", "⊥", "A", "B", "C")})
+        d = bp.summary_distance(a, b)
+        assert 0.0 < d < 0.5
+
+    def test_different_grams_are_far(self):
+        a = frozenset({self.s("X", "⊥", "⊥", "⊥", "⊥")})
+        b = frozenset({self.s("Y", "⊥", "⊥", "⊥", "⊥")})
+        assert bp.summary_distance(a, b) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        a = frozenset({self.s("X", "⊥", "⊥", "⊥", "⊥")})
+        assert bp.summary_distance(frozenset(), a) == 1.0
+        assert bp.summary_distance(frozenset(), frozenset()) == 0.0
+
+    def test_symmetry(self):
+        a = frozenset({self.s("X", "⊥", "A", "B", "⊤")})
+        b = frozenset(
+            {self.s("X", "⊥", "A", "B", "C"), self.s("Y", "⊥", "⊥", "⊥", "⊥")}
+        )
+        assert abs(
+            bp.summary_distance(a, b) - bp.summary_distance(b, a)
+        ) < 0.35  # greedy matching is approximately symmetric
+
+    def test_document_blueprint_is_label_texts(self):
+        blueprint = bp.document_blueprint(invoice_page())
+        assert "Chassis number" in blueprint
+        assert "4713872198212" not in blueprint

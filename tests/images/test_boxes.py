@@ -1,0 +1,141 @@
+"""Tests for text-box geometry (repro.images.boxes)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.images.boxes import (
+    BOTTOM,
+    ImageDocument,
+    ImageRegion,
+    LEFT,
+    RIGHT,
+    TOP,
+    TextBox,
+    enclosing_region,
+    reading_order,
+)
+
+
+def box(text, x, y, w=60, h=20, tags=None):
+    return TextBox(text=text, x=x, y=y, w=w, h=h, tags=tags)
+
+
+def grid_doc():
+    """Two rows, two columns:  A B / C D."""
+    return ImageDocument(
+        [
+            box("A", 0, 0),
+            box("B", 100, 0),
+            box("C", 0, 50),
+            box("D", 100, 50),
+        ]
+    )
+
+
+class TestReadingOrder:
+    def test_rows_then_columns(self):
+        doc = grid_doc()
+        assert [b.text for b in doc.boxes] == ["A", "B", "C", "D"]
+
+    def test_jitter_does_not_split_rows(self):
+        boxes = [
+            box("left", 0, 100.0),
+            box("mid", 70, 104.0),   # jittered slightly down
+            box("right", 140, 98.0),  # jittered slightly up
+        ]
+        ordered = reading_order(boxes)
+        assert [b.text for b in ordered] == ["left", "mid", "right"]
+
+    def test_distinct_rows_stay_distinct(self):
+        boxes = [box("low", 0, 60), box("high", 50, 0)]
+        ordered = reading_order(boxes)
+        assert [b.text for b in ordered] == ["high", "low"]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 500, allow_nan=False),
+                st.floats(0, 500, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_property_is_permutation(self, coords):
+        boxes = [box(f"b{i}", x, y) for i, (x, y) in enumerate(coords)]
+        ordered = reading_order(boxes)
+        assert sorted(b.text for b in ordered) == sorted(
+            b.text for b in boxes
+        )
+
+
+class TestNeighbors:
+    def test_four_directions(self):
+        doc = grid_doc()
+        a = doc.boxes[0]
+        assert doc.neighbor(a, RIGHT).text == "B"
+        assert doc.neighbor(a, BOTTOM).text == "C"
+        assert doc.neighbor(a, LEFT) is None
+        assert doc.neighbor(a, TOP) is None
+
+    def test_nearest_wins(self):
+        doc = ImageDocument(
+            [box("start", 0, 0), box("near", 80, 0), box("far", 200, 0)]
+        )
+        assert doc.neighbor(doc.boxes[0], RIGHT).text == "near"
+
+    def test_requires_orthogonal_overlap(self):
+        doc = ImageDocument([box("a", 0, 0), box("b", 100, 200)])
+        assert doc.neighbor(doc.boxes[0], RIGHT) is None
+
+    def test_alignment_penalty_prefers_aligned_box(self):
+        # The box directly below (aligned left edges) wins over a slightly
+        # nearer but misaligned one.
+        doc = ImageDocument(
+            [
+                box("top", 0, 0, w=300),
+                box("aligned", 0, 40),
+                box("misaligned", 200, 38),
+            ]
+        )
+        assert doc.neighbor(doc.boxes[0], BOTTOM).text == "aligned"
+
+
+class TestRegions:
+    def test_region_text_in_reading_order(self):
+        doc = grid_doc()
+        region = ImageRegion([doc.boxes[3], doc.boxes[0]])
+        assert region.text() == "A D"
+
+    def test_covers(self):
+        doc = grid_doc()
+        region = ImageRegion(doc.boxes[:2])
+        assert region.covers([doc.boxes[0]])
+        assert not region.covers([doc.boxes[3]])
+
+    def test_bounding_rect(self):
+        doc = grid_doc()
+        region = ImageRegion(doc.boxes)
+        x1, y1, x2, y2 = region.bounding_rect()
+        assert (x1, y1) == (0, 0)
+        assert x2 >= 160 and y2 >= 70
+
+    def test_enclosing_region_picks_up_boxes_in_rect(self):
+        doc = grid_doc()
+        region = enclosing_region(doc, [doc.boxes[0], doc.boxes[3]])
+        assert len(region) == 4
+
+    def test_enclosing_region_single_box(self):
+        doc = grid_doc()
+        region = enclosing_region(doc, [doc.boxes[0]])
+        assert region.covers([doc.boxes[0]])
+
+    def test_order_of(self):
+        doc = grid_doc()
+        assert doc.order_of(doc.boxes[0]) == 0
+        assert doc.order_of(doc.boxes[3]) == 3
+
+    def test_find_by_text_substring(self):
+        doc = ImageDocument([box("Chassis number", 0, 0)])
+        assert doc.find_by_text("Chassis") == [doc.boxes[0]]
+        assert doc.find_by_text("Engine") == []

@@ -1,0 +1,79 @@
+"""Tests for the ImageDomain adapter (repro.images.domain)."""
+
+from repro.core.document import Annotation, AnnotationGroup, TrainingExample
+from repro.images.boxes import ImageDocument, ImageRegion, TextBox
+from repro.images.domain import ImageDomain
+
+
+def box(text, x, y, tags=None):
+    return TextBox(text=text, x=x, y=y, w=8.0 * len(text), h=20, tags=tags)
+
+
+def page(amount):
+    return ImageDocument(
+        [
+            box("Total Due", 0, 0),
+            box(amount, 120, 0, tags={"amount": amount}),
+            box("Reg Date", 0, 40),
+            box("12/04/2021", 120, 40),
+        ]
+    )
+
+
+def example(doc):
+    value_box = [b for b in doc.boxes if b.tags][0]
+    return TrainingExample(
+        doc=doc,
+        annotation=Annotation(
+            groups=[
+                AnnotationGroup(locations=(value_box,), value=value_box.text)
+            ]
+        ),
+    )
+
+
+class TestImageDomain:
+    def setup_method(self):
+        self.domain = ImageDomain()
+        self.doc = page("$12.00")
+
+    def test_layout_conditional_is_off(self):
+        assert self.domain.layout_conditional is False
+
+    def test_locations_and_data(self):
+        boxes = self.domain.locations(self.doc)
+        assert len(boxes) == 4
+        assert self.domain.data(self.doc, boxes[0]) == boxes[0].text
+
+    def test_locate_substring(self):
+        matches = self.domain.locate(self.doc, "Total")
+        assert len(matches) == 1
+
+    def test_enclosing_region(self):
+        region = self.domain.enclosing_region(self.doc, self.doc.boxes[:2])
+        assert region.covers(self.doc.boxes[:2])
+
+    def test_blueprint_distance_dispatch(self):
+        # Document blueprints: frozensets of strings -> Jaccard.
+        doc_bp = self.domain.document_blueprint(self.doc)
+        assert self.domain.blueprint_distance(doc_bp, doc_bp) == 0.0
+        # Region blueprints: frozensets of BoxSummary tuples -> graded.
+        common = self.domain.common_values([self.doc, page("$94.50")])
+        region = ImageRegion(self.doc.boxes[:2])
+        region_bp = self.domain.region_blueprint(self.doc, region, common)
+        assert self.domain.blueprint_distance(region_bp, region_bp) == 0.0
+
+    def test_landmark_candidates_refresh_patterns(self):
+        examples = [example(page("$12.00")), example(page("$94.50"))]
+        candidates = self.domain.landmark_candidates(examples)
+        assert candidates
+        assert candidates[0].value in ("Total Due", "Total", "Due")
+        # The date value of the *other* field is profiled as a stop pattern.
+        assert any("/" in pattern for pattern in self.domain._patterns)
+
+    def test_pattern_pool_excludes_current_field_values(self):
+        examples = [example(page("$12.00")), example(page("$94.50"))]
+        self.domain.landmark_candidates(examples)
+        # Exact money profiles appear only via field_values (allowed), but
+        # the point is label texts and other values are present too.
+        assert self.domain._patterns

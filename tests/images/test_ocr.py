@@ -1,0 +1,101 @@
+"""Tests for the OCR simulator (repro.images.ocr)."""
+
+import random
+
+from repro.images.boxes import ImageDocument, TextBox
+from repro.images.ocr import OcrConfig, OcrSimulator
+
+
+def page(texts_with_tags):
+    boxes = []
+    for i, (text, tags) in enumerate(texts_with_tags):
+        boxes.append(
+            TextBox(text=text, x=0, y=i * 40.0, w=8.0 * len(text), h=20,
+                    tags=tags)
+        )
+    return ImageDocument(boxes)
+
+
+class TestSplitting:
+    def test_tagged_values_are_split(self):
+        doc = page([("WDX 28298 2L SHX 3", {"chassis": "WDX 28298 2L SHX 3"})])
+        ocr = OcrSimulator(OcrConfig(split_probability=1.0, jitter=0.0))
+        scanned = ocr.scan(doc, random.Random(0))
+        assert len(scanned.boxes) >= 2
+
+    def test_fragments_rejoin_to_original(self):
+        value = "WDX 28298 2L SHX 3"
+        doc = page([(value, {"chassis": value})])
+        ocr = OcrSimulator(OcrConfig(split_probability=1.0, jitter=0.0))
+        scanned = ocr.scan(doc, random.Random(1))
+        assert " ".join(b.text for b in scanned.boxes) == value
+
+    def test_labels_never_split_by_default(self):
+        doc = page([("Chassis number", None)])
+        ocr = OcrSimulator(OcrConfig(split_probability=1.0))
+        scanned = ocr.scan(doc, random.Random(0))
+        assert len(scanned.boxes) == 1
+
+    def test_max_fragments_respected(self):
+        value = "a b c d e f g h"
+        doc = page([(value, {"f": value})])
+        ocr = OcrSimulator(
+            OcrConfig(split_probability=1.0, max_fragments=3, jitter=0.0)
+        )
+        for seed in range(10):
+            scanned = ocr.scan(doc, random.Random(seed))
+            assert len(scanned.boxes) <= 3
+
+    def test_tags_propagate_to_fragments(self):
+        value = "WDX 28298 2L"
+        doc = page([(value, {"chassis": value})])
+        ocr = OcrSimulator(OcrConfig(split_probability=1.0, jitter=0.0))
+        scanned = ocr.scan(doc, random.Random(2))
+        assert all(b.tags == {"chassis": value} for b in scanned.boxes)
+
+
+class TestGeometry:
+    def test_translation_moves_everything(self):
+        doc = page([("a", None), ("b", None)])
+        ocr = OcrSimulator(
+            OcrConfig(split_probability=0.0, jitter=0.0, max_translation=50.0)
+        )
+        scanned = ocr.scan(doc, random.Random(3))
+        dxs = {round(s.x - o.x, 3) for s, o in zip(scanned.boxes, doc.boxes)}
+        assert len(dxs) == 1
+        assert dxs != {0.0}
+
+    def test_tilt_rotates(self):
+        # Box away from the rotation origin so the tilt visibly moves it.
+        doc = ImageDocument([TextBox("a", 400.0, 300.0, 40, 20)])
+        ocr = OcrSimulator(
+            OcrConfig(split_probability=0.0, jitter=0.0,
+                      max_tilt_degrees=5.0)
+        )
+        scanned = ocr.scan(doc, random.Random(11))
+        assert scanned.boxes[0].y != doc.boxes[0].y
+
+    def test_determinism(self):
+        doc = page([("WDX 28298 2L", {"f": "WDX 28298 2L"}), ("x", None)])
+        ocr = OcrSimulator(OcrConfig(split_probability=0.7))
+        a = ocr.scan(doc, random.Random(42))
+        b = ocr.scan(doc, random.Random(42))
+        assert [x.text for x in a.boxes] == [x.text for x in b.boxes]
+        assert [x.x for x in a.boxes] == [x.x for x in b.boxes]
+
+
+class TestCharNoise:
+    def test_confusable_substitution(self):
+        doc = page([("1005", {"f": "1005"})])
+        ocr = OcrSimulator(
+            OcrConfig(split_probability=0.0, jitter=0.0, char_noise=1.0)
+        )
+        scanned = ocr.scan(doc, random.Random(0))
+        assert scanned.boxes[0].text != "1005"
+        assert len(scanned.boxes[0].text) == 4
+
+    def test_no_noise_by_default(self):
+        doc = page([("1005", {"f": "1005"})])
+        ocr = OcrSimulator(OcrConfig(split_probability=0.0, jitter=0.0))
+        scanned = ocr.scan(doc, random.Random(0))
+        assert scanned.boxes[0].text == "1005"

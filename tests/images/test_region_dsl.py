@@ -1,0 +1,178 @@
+"""Tests for the Figure 6 region DSL (repro.images.region_dsl)."""
+
+import pytest
+
+from repro.core.document import SynthesisFailure
+from repro.images.boxes import BOTTOM, ImageDocument, ImageRegion, RIGHT, TextBox
+from repro.images.region_dsl import (
+    Absolute,
+    ImageRegionProgram,
+    PathProgram,
+    Relative,
+    enumerate_paths,
+    synthesize_region_program,
+)
+
+
+def box(text, x, y, w=80, h=20, tags=None):
+    return TextBox(text=text, x=x, y=y, w=w, h=h, tags=tags)
+
+
+def chassis_page(engine_present: bool, fragments=("WDX 28298", "2L SHX 3")):
+    """Example 5.3's page: labels above, chassis fragments + optional
+    13-digit engine number + date on the row below."""
+    value = " ".join(fragments)
+    boxes = [
+        box("Chassis number", 0, 0),
+        box("Engine number", 300, 0),
+        box("Reg Date", 500, 0),
+    ]
+    x = 0
+    for fragment in fragments:
+        boxes.append(box(fragment, x, 40, w=9 * len(fragment),
+                         tags={"chassis": value}))
+        x += 9 * len(fragment) + 10
+    if engine_present:
+        boxes.append(box("4713872198212", 300, 40, w=110))
+    boxes.append(box("12/04/2021", 500, 40, w=90))
+    return ImageDocument(boxes)
+
+
+def landmark_of(doc):
+    return doc.find_by_text("Chassis number")[0]
+
+
+def targets_of(doc):
+    return [b for b in doc.boxes if b.tags]
+
+
+class TestMotions:
+    def test_absolute_steps(self):
+        doc = chassis_page(True)
+        path = PathProgram((Absolute(BOTTOM, 1), Absolute(RIGHT, 1)))
+        boxes = path.run(doc, landmark_of(doc))
+        assert [b.text for b in boxes] == [
+            "Chassis number", "WDX 28298", "2L SHX 3",
+        ]
+
+    def test_absolute_clamps_at_page_edge(self):
+        doc = ImageDocument([box("a", 0, 0), box("b", 100, 0)])
+        path = PathProgram((Absolute(RIGHT, 4),))
+        boxes = path.run(doc, doc.boxes[0])
+        assert [b.text for b in boxes] == ["a", "b"]
+
+    def test_absolute_with_no_progress_is_none(self):
+        doc = ImageDocument([box("a", 0, 0)])
+        path = PathProgram((Absolute(RIGHT, 2),))
+        assert path.run(doc, doc.boxes[0]) is None
+
+    def test_relative_exclusive_stops_before_match(self):
+        doc = chassis_page(True)
+        path = PathProgram(
+            (Absolute(BOTTOM, 1), Relative(RIGHT, r"[0-9]{13}", False))
+        )
+        boxes = path.run(doc, landmark_of(doc))
+        assert boxes[-1].text == "2L SHX 3"
+
+    def test_relative_inclusive_keeps_match(self):
+        doc = chassis_page(True)
+        path = PathProgram(
+            (Absolute(BOTTOM, 1), Relative(RIGHT, r"[0-9]{13}", True))
+        )
+        boxes = path.run(doc, landmark_of(doc))
+        assert boxes[-1].text == "4713872198212"
+
+    def test_relative_without_match_is_none(self):
+        doc = chassis_page(False)
+        path = PathProgram(
+            (Absolute(BOTTOM, 1), Relative(RIGHT, r"[0-9]{13}", False))
+        )
+        assert path.run(doc, landmark_of(doc)) is None
+
+    def test_disjunct_first_non_null_wins(self):
+        doc = chassis_page(False)
+        program = ImageRegionProgram(
+            paths=(
+                PathProgram(
+                    (Absolute(BOTTOM, 1), Relative(RIGHT, r"[0-9]{13}", False))
+                ),
+                PathProgram(
+                    (
+                        Absolute(BOTTOM, 1),
+                        Relative(RIGHT, r"[0-9]{2}/[0-9]{2}/[0-9]{4}", False),
+                    )
+                ),
+            )
+        )
+        region = program(doc, landmark_of(doc))
+        assert region is not None
+        assert region.covers(targets_of(doc))
+
+
+class TestEnumeration:
+    def test_finds_covering_paths(self):
+        doc = chassis_page(True)
+        paths = enumerate_paths(
+            doc,
+            landmark_of(doc),
+            targets_of(doc),
+            patterns=[r"[0-9]{13}", r"[0-9]{2}/[0-9]{2}/[0-9]{4}"],
+        )
+        assert paths
+        for path in paths:
+            boxes = path.run(doc, landmark_of(doc))
+            assert ImageRegion(boxes).covers(targets_of(doc))
+
+
+class TestSynthesis:
+    def test_example_5_3_disjunction(self):
+        """Training on engine-present and engine-absent forms yields a
+        disjunction whose members stop at the engine number or at the
+        date — the paper's Example 5.3."""
+        # OCR split counts vary more than engine presence (as in the real
+        # pipeline), so per-split Absolute programs each cover few examples
+        # and the pattern-stopped Relative programs win the selection.
+        docs = [
+            chassis_page(True, ("WDX 28298 2L",)),
+            chassis_page(True, ("KMS 62808", "5K")),
+            chassis_page(True, ("XKS 39051", "5X", "2L")),
+            chassis_page(False, ("WWK 51373", "6S", "1X")),
+            chassis_page(False),
+        ]
+        examples = [
+            (doc, landmark_of(doc), ImageRegion(targets_of(doc)))
+            for doc in docs
+        ]
+        program = synthesize_region_program(
+            examples,
+            patterns=[r"[0-9]{13}", r"[0-9]{2}/[0-9]{2}/[0-9]{4}"],
+        )
+        # Works on an unseen split and either engine configuration.
+        for engine in (True, False):
+            doc = chassis_page(engine, ("HHD 53032", "9S", "3X", "7L"))
+            region = program(doc, landmark_of(doc))
+            assert region is not None
+            assert region.covers(targets_of(doc))
+            # ... and does not swallow the engine number.
+            assert all(b.text != "4713872198212" for b in region.path_boxes)
+
+    def test_no_examples_raises(self):
+        with pytest.raises(SynthesisFailure):
+            synthesize_region_program([])
+
+    def test_uncoverable_raises(self):
+        # Value far away with no connecting geometry.
+        doc = ImageDocument(
+            [box("label", 0, 0), box("v", 4000, 4000, tags={"f": "v"})]
+        )
+        with pytest.raises(SynthesisFailure):
+            synthesize_region_program(
+                [(doc, doc.boxes[0], ImageRegion([doc.boxes[1]]))],
+                patterns=[],
+            )
+
+    def test_program_size(self):
+        program = ImageRegionProgram(
+            paths=(PathProgram((Absolute(RIGHT, 1),)),)
+        )
+        assert program.size() == 1

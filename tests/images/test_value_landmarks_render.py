@@ -1,0 +1,140 @@
+"""Tests for image value DSL, landmark scoring and the layout engine."""
+
+import pytest
+
+from repro.core.document import (
+    Annotation,
+    AnnotationGroup,
+    SynthesisFailure,
+    TrainingExample,
+)
+from repro.html.parser import parse_html
+from repro.images import landmarks as lm
+from repro.images.boxes import ImageDocument, ImageRegion, TextBox
+from repro.images.render import render_to_boxes
+from repro.images.value_dsl import synthesize_value_program
+
+
+def box(text, x, y, w=80, h=20, tags=None):
+    return TextBox(text=text, x=x, y=y, w=w, h=h, tags=tags)
+
+
+class TestImageValueDsl:
+    def test_concatenated_extraction(self):
+        label = box("Chassis number", 0, 0)
+        frag1 = box("WDX 28298", 0, 40)
+        frag2 = box("2L SHX 3", 100, 40)
+        region = ImageRegion([label, frag1, frag2])
+        examples = [
+            (region, [((frag1, frag2), "WDX 28298 2L SHX 3")]),
+        ]
+        program = synthesize_value_program(examples)
+        assert program(region) == ["WDX 28298 2L SHX 3"]
+
+    def test_generalizes_across_split_counts(self):
+        def example(fragments):
+            value = " ".join(fragments)
+            label = box("Chassis number", 0, 0)
+            frag_boxes = tuple(
+                box(f, 100 * i, 40) for i, f in enumerate(fragments)
+            )
+            region = ImageRegion([label, *frag_boxes])
+            return region, [(frag_boxes, value)]
+
+        # Values of different shapes: no single profile covers them, so the
+        # synthesizer falls back to the landmark-anchored program, which
+        # generalizes to unseen fragment counts.
+        program = synthesize_value_program(
+            [
+                example(["WDX 28298", "2L"]),
+                example(["KMS 62808 5K 9X 1S"]),
+            ]
+        )
+        region, groups = example(["HHD 53032", "9S", "3X"])
+        assert program(region) == ["HHD 53032 9S 3X"]
+
+    def test_multiple_groups_per_region_rejected(self):
+        label = box("L", 0, 0)
+        a = box("1", 0, 40)
+        b = box("2", 100, 40)
+        region = ImageRegion([label, a, b])
+        with pytest.raises(SynthesisFailure):
+            synthesize_value_program(
+                [(region, [((a,), "1"), ((b,), "2")])]
+            )
+
+
+class TestImageLandmarks:
+    def make_example(self, value):
+        label = box("Total Due", 0, 100)
+        other = box("Invoice Date", 0, 60)
+        value_box = box(value, 150, 100, tags={"amount": value})
+        doc = ImageDocument([other, label, value_box])
+        annotation = Annotation(
+            groups=[AnnotationGroup(locations=(value_box,), value=value)]
+        )
+        return TrainingExample(doc=doc, annotation=annotation)
+
+    def test_same_row_label_preferred(self):
+        examples = [self.make_example("$12.00"), self.make_example("$94.50")]
+        candidates = lm.landmark_candidates(examples)
+        assert candidates[0].value in ("Total Due", "Total", "Due")
+
+    def test_value_substrings_excluded(self):
+        examples = [self.make_example("$12.00"), self.make_example("$12.00")]
+        candidates = lm.landmark_candidates(examples)
+        assert all("$12.00" not in c.value for c in candidates)
+
+    def test_empty(self):
+        assert lm.landmark_candidates([]) == []
+
+
+class TestRender:
+    def test_table_rows_become_lines(self):
+        doc = parse_html(
+            "<html><body><table>"
+            "<tr><td>Flight</td><td>AS 100</td></tr>"
+            "<tr><td>Departs</td><td>8:18 PM</td></tr>"
+            "</table></body></html>"
+        )
+        page = render_to_boxes(doc)
+        texts = [b.text for b in page.boxes]
+        assert texts == ["Flight", "AS 100", "Departs", "8:18 PM"]
+        # Same row shares y; consecutive rows differ.
+        assert page.boxes[0].y == page.boxes[1].y
+        assert page.boxes[0].y < page.boxes[2].y
+
+    def test_inline_runs_become_separate_boxes(self):
+        doc = parse_html(
+            "<html><body><div><span>Name:</span><span>Alice</span></div>"
+            "</body></html>"
+        )
+        page = render_to_boxes(doc)
+        assert [b.text for b in page.boxes] == ["Name:", "Alice"]
+
+    def test_field_tags_propagate(self):
+        doc = parse_html(
+            '<html><body><table><tr><td>Departs</td>'
+            '<td data-f-dtime="8:18 PM">8:18 PM</td></tr></table>'
+            "</body></html>"
+        )
+        page = render_to_boxes(doc)
+        tagged = [b for b in page.boxes if b.tags]
+        assert len(tagged) == 1
+        assert tagged[0].tags == {"dtime": "8:18 PM"}
+
+    def test_inline_value_tags_survive_block_flattening(self):
+        doc = parse_html(
+            '<html><body><div><span>Id:</span>'
+            '<span data-f-rid="AB12">AB12</span></div></body></html>'
+        )
+        page = render_to_boxes(doc)
+        tagged = [b for b in page.boxes if b.tags]
+        assert tagged and tagged[0].tags["rid"] == "AB12"
+
+    def test_blocks_stack_vertically(self):
+        doc = parse_html(
+            "<html><body><div>one</div><div>two</div></body></html>"
+        )
+        page = render_to_boxes(doc)
+        assert page.boxes[0].y < page.boxes[1].y

@@ -1,0 +1,180 @@
+"""End-to-end integration tests across substrates, synthesis and baselines.
+
+These are scaled-down versions of the paper's experiments that assert the
+*qualitative* claims: LRSyn stays perfect under format drift, NDSyn degrades
+under insertion, ForgivingXPaths trades precision for recall, and image
+LRSyn beats the coordinate-anchored AFR under translation.
+"""
+
+import pytest
+
+from repro.core.hierarchy import maybe_hierarchical
+from repro.core.metrics import score_corpus
+from repro.core.synthesis import lrsyn
+from repro.datasets import finance, m2h, m2h_images
+from repro.datasets.base import CONTEMPORARY, LONGITUDINAL
+from repro.harness.images import IMAGE_CONFIG, AfrMethod, LrsynImageMethod
+from repro.harness.runner import (
+    ForgivingXPathsMethod,
+    LrsynHtmlMethod,
+    NdsynMethod,
+)
+from repro.html.domain import HtmlDomain
+
+
+@pytest.fixture(scope="module")
+def getthere():
+    return {
+        CONTEMPORARY: m2h.generate_corpus(
+            "getthere", train_size=14, test_size=20,
+            setting=CONTEMPORARY, seed=0,
+        ),
+        LONGITUDINAL: m2h.generate_corpus(
+            "getthere", train_size=14, test_size=20,
+            setting=LONGITUDINAL, seed=0,
+        ),
+    }
+
+
+class TestHtmlLrsyn:
+    @pytest.mark.parametrize("field", ["DTime", "DIata", "RId", "Name"])
+    def test_perfect_both_settings(self, getthere, field):
+        method = LrsynHtmlMethod()
+        extractor = method.train(
+            getthere[CONTEMPORARY].training_examples(field)
+        )
+        for setting in (CONTEMPORARY, LONGITUDINAL):
+            score = score_corpus(
+                getthere[setting].test_pairs(field, extractor)
+            )
+            assert score.f1 == 1.0, f"{field} {setting}: {score.f1}"
+
+    def test_landmark_matches_figure_3(self, getthere):
+        domain = HtmlDomain()
+        program = lrsyn(
+            domain, getthere[CONTEMPORARY].training_examples("DTime")
+        )
+        assert "Depart:" in program.landmarks()
+        strategy = [
+            s for s in program.strategies if s.landmark == "Depart:"
+        ][0]
+        # Figure 3's program: parentHops 0, small sibling hop.
+        assert strategy.region_program.parent_hops == 0
+        assert 1 <= strategy.region_program.sibling_hops <= 2
+
+    def test_multi_leg_extraction_in_order(self, getthere):
+        method = LrsynHtmlMethod()
+        extractor = method.train(
+            getthere[CONTEMPORARY].training_examples("DTime")
+        )
+        multi = [
+            labeled
+            for labeled in getthere[CONTEMPORARY].test
+            if len(labeled.gold("DTime")) >= 2
+        ]
+        assert multi, "expected multi-leg documents in the corpus"
+        for labeled in multi:
+            assert extractor.extract(labeled.doc) == labeled.gold("DTime")
+
+
+class TestNdsynDegradation:
+    def test_ndsyn_weaker_longitudinally(self, getthere):
+        method = NdsynMethod()
+        extractor = method.train(
+            getthere[CONTEMPORARY].training_examples("DTime")
+        )
+        contemporary = score_corpus(
+            getthere[CONTEMPORARY].test_pairs("DTime", extractor)
+        )
+        longitudinal = score_corpus(
+            getthere[LONGITUDINAL].test_pairs("DTime", extractor)
+        )
+        assert longitudinal.f1 < 1.0
+        assert longitudinal.f1 <= contemporary.f1 + 0.02
+
+    def test_lrsyn_dominates_ndsyn_longitudinally(self, getthere):
+        examples = getthere[CONTEMPORARY].training_examples("DTime")
+        lr = LrsynHtmlMethod().train(examples)
+        nd = NdsynMethod().train(examples)
+        lr_score = score_corpus(
+            getthere[LONGITUDINAL].test_pairs("DTime", lr)
+        )
+        nd_score = score_corpus(
+            getthere[LONGITUDINAL].test_pairs("DTime", nd)
+        )
+        assert lr_score.f1 > nd_score.f1
+
+
+class TestForgivingXPathsShape:
+    def test_recall_high_precision_low(self, getthere):
+        method = ForgivingXPathsMethod()
+        extractor = method.train(
+            getthere[CONTEMPORARY].training_examples("DTime")
+        )
+        score = score_corpus(
+            getthere[CONTEMPORARY].test_pairs("DTime", extractor)
+        )
+        assert score.recall >= 0.9
+        assert score.precision < score.recall
+
+
+class TestImageDomainEndToEnd:
+    def test_finance_accounts_invoice(self):
+        corpus = finance.generate_corpus(
+            "AccountsInvoice", train_size=10, test_size=12, seed=0
+        )
+        method = LrsynImageMethod()
+        for field in ("Amount", "Date", "Dnum", "Engine"):
+            extractor = method.train(corpus.training_examples(field))
+            score = score_corpus(corpus.test_pairs(field, extractor))
+            assert score.f1 >= 0.9, f"{field}: {score.f1}"
+
+    def test_amount_owing_landmark(self):
+        # Figure 1(c): "Owing" anchors the invoice amount.
+        from repro.images.domain import ImageDomain
+
+        corpus = finance.generate_corpus(
+            "AccountsInvoice", train_size=10, test_size=0, seed=0
+        )
+        domain = ImageDomain()
+        program = lrsyn(
+            domain, corpus.training_examples("Amount"), IMAGE_CONFIG
+        )
+        # The landmark is (a fragment of) the "Amount Owing" label.
+        assert all(lm in "Amount Owing" for lm in program.landmarks())
+        assert program.landmarks()
+
+    def test_lrsyn_beats_afr_under_visual_drift(self):
+        corpus = m2h_images.generate_corpus(
+            "getthere", train_size=10, test_size=15, seed=0
+        )
+        examples = corpus.training_examples("ATime")
+        lr = LrsynImageMethod().train(examples)
+        afr = AfrMethod().train(examples)
+        lr_score = score_corpus(corpus.test_pairs("ATime", lr))
+        afr_score = score_corpus(corpus.test_pairs("ATime", afr))
+        assert lr_score.f1 > afr_score.f1
+
+    def test_alaska_ddate_has_no_program(self):
+        # Table 4's "-": no textual landmark near the travel date.
+        from repro.core.document import SynthesisFailure
+
+        corpus = m2h_images.generate_corpus(
+            "iflyalaskaair", train_size=10, test_size=0, seed=0
+        )
+        with pytest.raises(SynthesisFailure):
+            LrsynImageMethod().train(corpus.training_examples("DDate"))
+
+
+class TestHierarchicalIntegration:
+    def test_getthere_car_depart_triggers_hierarchy(self):
+        corpus = m2h.generate_corpus(
+            "getthere", train_size=25, test_size=0, seed=0
+        )
+        domain = HtmlDomain()
+        examples = corpus.training_examples("DTime")
+        program = lrsyn(domain, examples)
+        extractor = maybe_hierarchical(domain, program, examples)
+        from repro.core.hierarchy import HierarchicalProgram
+
+        assert isinstance(extractor, HierarchicalProgram)

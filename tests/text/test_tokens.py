@@ -1,0 +1,83 @@
+"""Tests for the token library (repro.text.tokens)."""
+
+import pytest
+
+from repro.text import tokens as T
+
+
+class TestTokenMatching:
+    @pytest.mark.parametrize(
+        "token, text",
+        [
+            (T.TIME, "8:18 PM"),
+            (T.TIME, "12:05"),
+            (T.TIME, "11:59 am"),
+            (T.DATE, "Friday, Apr 3"),
+            (T.DATE, "Apr 3, 2022"),
+            (T.DATE, "12/04/2021"),
+            (T.DATETIME, "Friday, Apr 3 8:18 PM"),
+            (T.MONEY, "$1,234.56"),
+            (T.MONEY, "€ 99"),
+            (T.IATA, "SEA"),
+            (T.FLIGHT_NUM, "AS 330"),
+            (T.FLIGHT_NUM, "DL1234"),
+            (T.RECORD_ID, "G6TQ2P"),
+            (T.NUMBER, "42.5"),
+            (T.CAPS_WORD, "AIR"),
+            (T.TITLE_WORD, "Depart"),
+            (T.WORD, "hello"),
+            (T.ALNUM, "abc123"),
+        ],
+    )
+    def test_fullmatch_accepts(self, token, text):
+        assert token.fullmatch(text)
+
+    @pytest.mark.parametrize(
+        "token, text",
+        [
+            (T.TIME, "8-18"),
+            (T.DATE, "hello world"),
+            (T.MONEY, "1234"),
+            (T.IATA, "SEAT"),
+            (T.IATA, "se a"),
+            (T.FLIGHT_NUM, "G6TQ2P"),
+            (T.RECORD_ID, "G6TQ2"),
+            (T.CAPS_WORD, "Air"),
+            (T.WORD, "abc123"),
+        ],
+    )
+    def test_fullmatch_rejects(self, token, text):
+        assert not token.fullmatch(text)
+
+
+class TestMatchingTokens:
+    def test_most_specific_first(self):
+        matches = T.matching_tokens("8:18 PM")
+        assert matches[0] is T.TIME
+
+    def test_datetime_beats_time_on_full_datetime(self):
+        matches = T.matching_tokens("Friday, Apr 3 8:18 PM")
+        assert matches[0] is T.DATETIME
+
+    def test_anything_always_matches(self):
+        assert T.ANYTHING in T.matching_tokens("!@#")
+
+
+class TestTokenOccurrence:
+    def test_first_occurrence(self):
+        assert T.token_occurrence(T.TIME, "at 8:18 PM today", "8:18 PM") == 0
+
+    def test_second_occurrence(self):
+        text = "open 9:00 AM close 5:00 PM"
+        assert T.token_occurrence(T.TIME, text, "5:00 PM") == 1
+
+    def test_missing_occurrence(self):
+        assert T.token_occurrence(T.TIME, "no times here", "8:18 PM") is None
+
+    def test_value_not_matching_any_occurrence(self):
+        assert T.token_occurrence(T.TIME, "at 8:18 PM", "9:00 AM") is None
+
+
+def test_tokens_by_name_is_complete():
+    for token in T.ALL_TOKENS:
+        assert T.TOKENS_BY_NAME[token.name] is token
