@@ -4,28 +4,42 @@ Each ``bench_*`` module regenerates one table or analysis of the paper's
 evaluation (see DESIGN.md §4).  Experiments are cached per pytest session so
 Table 1 and Table 2 (which share the M2H experiment) compute it once, and
 every rendered table is both printed and written to ``benchmarks/results/``.
+
+Every experiment run is timed under an isolated
+:class:`repro.core.caching.StageTimer` and appended to
+``benchmarks/results/BENCH_synthesis_speed.json`` — a trajectory of
+per-stage wall-clock (cluster, landmark, region-synth, value-synth, score)
+plus cache hit/miss counters, so future optimization PRs can prove their
+speedups against the recorded history.  ``REPRO_SCALE``, ``REPRO_JOBS`` and
+``REPRO_CACHE`` (see :mod:`repro.harness.runner`) are recorded with each
+entry.
 """
 
 from __future__ import annotations
 
 import functools
-import os
 import pathlib
+import time
 
+from repro.core.caching import StageTimer, cache_enabled, use_timer
 from repro.harness.images import (
     AfrMethod,
     LrsynImageMethod,
     run_finance_experiment,
     run_m2h_images_experiment,
 )
+from repro.harness.reporting import record_synthesis_speed, timings_table
 from repro.harness.runner import (
     ForgivingXPathsMethod,
     LrsynHtmlMethod,
     NdsynMethod,
+    jobs,
     run_m2h_experiment,
+    scale,
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SPEED_TRAJECTORY = RESULTS_DIR / "BENCH_synthesis_speed.json"
 
 HTML_METHODS = ("ForgivingXPaths", "NDSyn", "LRSyn")
 IMAGE_METHODS = ("AFR", "LRSyn")
@@ -39,22 +53,52 @@ def emit(name: str, text: str) -> None:
     print(text)
 
 
+def timed_experiment(name: str, experiment, *args, **kwargs):
+    """Run ``experiment`` under an isolated timer and record its trajectory."""
+    timer = StageTimer()
+    start = time.perf_counter()
+    with use_timer(timer):
+        results = experiment(*args, **kwargs)
+    wall = time.perf_counter() - start
+    snapshot = timer.snapshot()
+    record_synthesis_speed(
+        SPEED_TRAJECTORY,
+        name,
+        wall,
+        snapshot,
+        scale=scale(),
+        jobs=jobs(),
+        cache_enabled=cache_enabled(),
+    )
+    emit(
+        f"timings_{name}",
+        timings_table(snapshot, title=f"Stage timings: {name} ({wall:.2f}s)"),
+    )
+    return results
+
+
 @functools.lru_cache(maxsize=None)
 def m2h_results(seed: int = 0):
     """The M2H HTML experiment shared by Tables 1-2 and the size study."""
     methods = [ForgivingXPathsMethod(), NdsynMethod(), LrsynHtmlMethod()]
-    return run_m2h_experiment(methods, seed=seed)
+    return timed_experiment("m2h", run_m2h_experiment, methods, seed=seed)
 
 
 @functools.lru_cache(maxsize=None)
 def finance_results(seed: int = 0):
-    return run_finance_experiment(
-        [AfrMethod(), LrsynImageMethod()], seed=seed
+    return timed_experiment(
+        "finance",
+        run_finance_experiment,
+        [AfrMethod(), LrsynImageMethod()],
+        seed=seed,
     )
 
 
 @functools.lru_cache(maxsize=None)
 def m2h_images_results(seed: int = 0):
-    return run_m2h_images_experiment(
-        [AfrMethod(), LrsynImageMethod()], seed=seed
+    return timed_experiment(
+        "m2h_images",
+        run_m2h_images_experiment,
+        [AfrMethod(), LrsynImageMethod()],
+        seed=seed,
     )

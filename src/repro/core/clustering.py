@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
+from repro.core.caching import DistanceCache, active_timer
 from repro.core.document import (
     Annotation,
     Domain,
@@ -47,6 +48,7 @@ def fine_cluster(
     domain: Domain,
     examples: Sequence[TrainingExample],
     threshold: float,
+    cache: DistanceCache | None = None,
 ) -> list[list[TrainingExample]]:
     """Initial clustering by whole-document blueprint distance.
 
@@ -54,23 +56,25 @@ def fine_cluster(
     a document whose blueprint is within ``threshold``.  This produces the
     "large number of very fine-grained clusters" of Section 2.1.
     """
+    cache = cache or DistanceCache(domain)
     clusters: list[list[TrainingExample]] = []
     blueprints: list[list[Hashable]] = []
-    for example in examples:
-        blueprint = domain.document_blueprint(example.doc)
-        placed = False
-        for cluster, cluster_bps in zip(clusters, blueprints):
-            if any(
-                domain.blueprint_distance(blueprint, other) <= threshold
-                for other in cluster_bps
-            ):
-                cluster.append(example)
-                cluster_bps.append(blueprint)
-                placed = True
-                break
-        if not placed:
-            clusters.append([example])
-            blueprints.append([blueprint])
+    with active_timer().stage("cluster"):
+        for example in examples:
+            blueprint = cache.document_blueprint(example.doc)
+            placed = False
+            for cluster, cluster_bps in zip(clusters, blueprints):
+                if any(
+                    cache.distance(blueprint, other) <= threshold
+                    for other in cluster_bps
+                ):
+                    cluster.append(example)
+                    cluster_bps.append(blueprint)
+                    placed = True
+                    break
+            if not placed:
+                clusters.append([example])
+                blueprints.append([blueprint])
     return clusters
 
 
@@ -91,7 +95,7 @@ def pair_values_to_landmarks(
     occurrences = domain.locate(doc, landmark)
     if not occurrences:
         return []
-    order = {loc: i for i, loc in enumerate(domain.locations(doc))}
+    order = domain.location_order(doc)
 
     def position(loc: Location) -> int:
         return order.get(loc, 0)
@@ -119,33 +123,49 @@ def _roi_blueprints(
     example: TrainingExample,
     candidates: Sequence[ScoredLandmark],
     common_values: frozenset[str],
+    cache: DistanceCache,
 ) -> dict[str, Hashable]:
     """ROI blueprint per landmark candidate for one document (Alg. 3, l. 8-9)."""
-    result: dict[str, Hashable] = {}
-    for candidate in candidates:
+
+    def compute(landmark: str) -> Hashable | None:
         pairs = pair_values_to_landmarks(
-            domain, example.doc, example.annotation, candidate.value
+            domain, example.doc, example.annotation, landmark
         )
         if not pairs:
-            continue
+            return None
         occurrence, groups = pairs[0]
         locations = [occurrence] + [
             loc for group_locs, _ in groups for loc in group_locs
         ]
         region = domain.enclosing_region(example.doc, locations)
-        result[candidate.value] = domain.region_blueprint(
-            example.doc, region, common_values
+        return domain.region_blueprint(example.doc, region, common_values)
+
+    result: dict[str, Hashable] = {}
+    for candidate in candidates:
+        blueprint = cache.roi_blueprint(
+            example.doc,
+            candidate.value,
+            common_values,
+            lambda landmark=candidate.value: compute(landmark),
         )
+        if blueprint is not None:
+            result[candidate.value] = blueprint
     return result
 
 
 def _cluster_distance(
     roi_of: dict[int, dict[str, Hashable]],
-    domain: Domain,
+    cache: DistanceCache,
     cluster_a: list[TrainingExample],
     cluster_b: list[TrainingExample],
 ) -> float:
-    """Average pairwise document distance ``Δ`` between two clusters."""
+    """Average pairwise document distance ``Δ`` between two clusters.
+
+    Distances go through the :class:`DistanceCache`: the merge loop
+    re-evaluates unchanged cluster pairs every round, so memoizing the
+    pairwise blueprint distances turns the O(n²)-per-round recomputation
+    into dictionary lookups.
+    """
     distances: list[float] = []
     for ex_a in cluster_a:
         for ex_b in cluster_b:
@@ -156,10 +176,7 @@ def _cluster_distance(
                 distances.append(1.0)
                 continue
             distances.append(
-                min(
-                    domain.blueprint_distance(roi_a[m], roi_b[m])
-                    for m in shared
-                )
+                min(cache.distance(roi_a[m], roi_b[m]) for m in shared)
             )
     if not distances:
         return 1.0
@@ -172,12 +189,14 @@ def infer_landmarks_and_clusters(
     fine_threshold: float = 0.05,
     merge_threshold: float = 0.0,
     max_candidates: int = 10,
+    cache: DistanceCache | None = None,
 ) -> list[ClusterInfo]:
     """Algorithm 3: jointly cluster documents and infer landmarks."""
     if not examples:
         return []
+    cache = cache or DistanceCache(domain)
 
-    clusters = fine_cluster(domain, examples, fine_threshold)
+    clusters = fine_cluster(domain, examples, fine_threshold, cache=cache)
 
     # Landmark candidates and per-document ROI blueprints (lines 4-9).
     # ROI blueprints use the common values of the *whole training set* so
@@ -189,50 +208,49 @@ def infer_landmarks_and_clusters(
     # cluster's ROI computation: tiny fine clusters treat document-specific
     # text as "invariant" and would otherwise share no candidate (hence no
     # merge opportunity) with the large clusters.
-    global_candidates = domain.landmark_candidates(examples, max_candidates)
-    candidates_of: list[list[ScoredLandmark]] = []
+    global_candidates = cache.landmark_candidates(examples, max_candidates)
     roi_of: dict[int, dict[str, Hashable]] = {}
     for cluster in clusters:
-        candidates = domain.landmark_candidates(cluster, max_candidates)
-        candidates_of.append(candidates)
+        candidates = cache.landmark_candidates(cluster, max_candidates)
         cluster_values = {candidate.value for candidate in candidates}
         merged_candidates = candidates + [
             candidate
             for candidate in global_candidates
             if candidate.value not in cluster_values
         ]
-        for example in cluster:
-            roi_of[id(example)] = _roi_blueprints(
-                domain, example, merged_candidates, global_common
-            )
+        with active_timer().stage("cluster"):
+            for example in cluster:
+                roi_of[id(example)] = _roi_blueprints(
+                    domain, example, merged_candidates, global_common, cache
+                )
 
     # Merge clusters while some pair is within the merge threshold
     # (lines 10-15).
-    merged = True
-    while merged and len(clusters) > 1:
-        merged = False
-        best_pair: tuple[int, int] | None = None
-        best_distance = merge_threshold
-        for i in range(len(clusters)):
-            for j in range(i + 1, len(clusters)):
-                distance = _cluster_distance(
-                    roi_of, domain, clusters[i], clusters[j]
-                )
-                if distance <= best_distance:
-                    best_pair = (i, j)
-                    best_distance = distance
-        if best_pair is not None:
-            i, j = best_pair
-            clusters[i] = clusters[i] + clusters[j]
-            del clusters[j]
-            del candidates_of[j]
-            merged = True
+    with active_timer().stage("cluster"):
+        merged = True
+        while merged and len(clusters) > 1:
+            merged = False
+            best_pair: tuple[int, int] | None = None
+            best_distance = merge_threshold
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    distance = _cluster_distance(
+                        roi_of, cache, clusters[i], clusters[j]
+                    )
+                    if distance <= best_distance:
+                        best_pair = (i, j)
+                        best_distance = distance
+            if best_pair is not None:
+                i, j = best_pair
+                clusters[i] = clusters[i] + clusters[j]
+                del clusters[j]
+                merged = True
 
     # Finalize: recompute candidates on merged clusters and pick the top one
     # (line 16).
     result: list[ClusterInfo] = []
     for cluster in clusters:
-        candidates = domain.landmark_candidates(cluster, max_candidates)
+        candidates = cache.landmark_candidates(cluster, max_candidates)
         if not candidates:
             continue
         result.append(

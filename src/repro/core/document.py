@@ -100,9 +100,23 @@ class Domain(abc.ABC):
     blueprints, cheap selectors); the image domain does not — its region
     DSL is already disjunctive (Figure 6) and its blueprints are compared
     up to OCR noise, so splitting would only fragment the training set.
+
+    ``pure_landmarks`` declares :meth:`landmark_candidates` side-effect
+    free, allowing :class:`repro.core.caching.DistanceCache` to memoize its
+    results per example set.  Domains whose scorer mutates internal state
+    (the image domain refreshes its Relative-motion patterns) must set it
+    to ``False`` so every call really runs.
+
+    ``symmetric_distance`` declares ``blueprint_distance(a, b) ==
+    blueprint_distance(b, a)``, letting the cache serve a reversed-order
+    lookup from one entry.  Domains with an asymmetric metric (the image
+    domain's greedy BoxSummary matching) must set it to ``False`` so cached
+    runs stay bit-identical to uncached ones.
     """
 
     layout_conditional: bool = True
+    pure_landmarks: bool = True
+    symmetric_distance: bool = True
 
     # ------------------------------------------------------------------
     # Locations and data values
@@ -122,6 +136,23 @@ class Domain(abc.ABC):
     @abc.abstractmethod
     def enclosing_region(self, doc: Any, locs: Sequence[Location]) -> Region:
         """Smallest region containing all ``locs`` (``EncRgn``)."""
+
+    def location_order(self, doc: Any) -> dict:
+        """``location -> document-order index`` map for ``doc``.
+
+        The default rebuilds the map on every call; domains with an
+        immutable document model should override it with a per-document
+        memo (see :meth:`repro.html.domain.HtmlDomain.location_order`).
+        """
+        return {loc: i for i, loc in enumerate(self.locations(doc))}
+
+    def location_order_by_id(self, doc: Any) -> dict[int, int]:
+        """``id(location) -> document-order index`` map for ``doc``.
+
+        Keyed by identity so it is safe for location types with value
+        equality; used by the ``Extract`` interpreter on every document.
+        """
+        return {id(loc): i for i, loc in enumerate(self.locations(doc))}
 
     # ------------------------------------------------------------------
     # Blueprints

@@ -98,7 +98,7 @@ class ExtractionProgram:
         consumed: set[int] = set()
         collected: list[tuple[int, str]] = []
         value_locations: list[Location] = []
-        order = {id(loc): i for i, loc in enumerate(self.domain.locations(doc))}
+        order = self.domain.location_order_by_id(doc)
         matched = False
         for strategy in self.strategies:
             locations = self.domain.locate(doc, strategy.landmark)

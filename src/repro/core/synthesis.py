@@ -19,6 +19,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from repro.core.caching import DistanceCache, active_timer
 from repro.core.clustering import (
     ClusterInfo,
     infer_landmarks_and_clusters,
@@ -55,9 +56,14 @@ def typical_blueprint(
     meaningful for graded blueprint metrics (the image domain's BoxSummary
     matching).  Without one, set-valued blueprints are averaged by majority
     vote and other kinds by most-common value.
+
+    An empty input has no meaningful average in *any* blueprint domain (a
+    ``frozenset()`` fallback would be wrong-typed for e.g. the image
+    domain's BoxSummary blueprints), so it raises :class:`SynthesisFailure`
+    and the caller moves on to its next layout group or landmark candidate.
     """
     if not blueprints:
-        return frozenset()
+        raise SynthesisFailure("no blueprints observed: empty layout group")
     if distance is not None:
         return min(
             blueprints,
@@ -79,6 +85,7 @@ def synthesize_extraction_program(
     domain: Domain,
     cluster: ClusterInfo,
     landmark: str,
+    cache: DistanceCache | None = None,
 ) -> list[Strategy]:
     """Algorithm 4: synthesize the extraction strategies for a cluster.
 
@@ -89,6 +96,7 @@ def synthesize_extraction_program(
     ``(m, p_rx, b, p_vx)`` tuple per layout.  All tuples share the landmark;
     Algorithm 1's switch picks the tuple whose blueprint matches at runtime.
     """
+    cache = cache or DistanceCache(domain)
     docs = [example.doc for example in cluster.examples]
     common_values = domain.common_values(docs)
 
@@ -135,7 +143,10 @@ def synthesize_extraction_program(
         group_regions = [region_example for region_example, _ in group]
         group_values = [value_example for _, value_example in group]
         try:
-            region_program = domain.synthesize_region_program(group_regions)
+            with active_timer().stage("region-synth"):
+                region_program = domain.synthesize_region_program(
+                    group_regions
+                )
             # The blueprint is computed on the region the *synthesized
             # program* produces (RegionSpec(doc) in the paper), not the
             # annotated ROI, so the inference-time comparison is
@@ -147,10 +158,11 @@ def synthesize_extraction_program(
                     blueprints.append(
                         domain.region_blueprint(doc, produced, common_values)
                     )
-            blueprint = typical_blueprint(
-                blueprints, distance=domain.blueprint_distance
-            )
-            value_program = domain.synthesize_value_program(group_values)
+            # The medoid is quadratic in the distance function; routing it
+            # through the cache collapses repeated blueprint pairs.
+            blueprint = typical_blueprint(blueprints, distance=cache.distance)
+            with active_timer().stage("value-synth"):
+                value_program = domain.synthesize_value_program(group_values)
         except SynthesisFailure as failure:
             failures.append(str(failure))
             continue
@@ -177,14 +189,21 @@ def lrsyn(
     examples: Sequence[TrainingExample],
     config: LrsynConfig | None = None,
 ) -> ExtractionProgram:
-    """Algorithm 2: the top-level LRSyn synthesis driver."""
+    """Algorithm 2: the top-level LRSyn synthesis driver.
+
+    One :class:`DistanceCache` spans the whole invocation, so blueprints,
+    pairwise distances and landmark-candidate lists computed during
+    clustering are reused by every per-cluster synthesis attempt.
+    """
     config = config or LrsynConfig()
+    cache = DistanceCache(domain)
     clusters = infer_landmarks_and_clusters(
         domain,
         examples,
         fine_threshold=config.fine_threshold,
         merge_threshold=config.merge_threshold,
         max_candidates=config.max_candidates,
+        cache=cache,
     )
 
     sized_strategies: list[tuple[int, int, Strategy]] = []
@@ -195,7 +214,7 @@ def lrsyn(
         for candidate in cluster.candidates or []:
             try:
                 cluster_strategies = synthesize_extraction_program(
-                    domain, cluster, candidate.value
+                    domain, cluster, candidate.value, cache=cache
                 )
             except SynthesisFailure:
                 continue

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 from repro.baselines.afr import train_afr
@@ -13,6 +14,8 @@ from repro.harness.runner import (
     FieldResult,
     Method,
     evaluate_method,
+    jobs,
+    run_field_jobs,
     scaled,
 )
 from repro.images.domain import ImageDomain
@@ -60,6 +63,16 @@ def run_finance_experiment(
 ) -> list[FieldResult]:
     """Table 3: the Finance dataset (34 field tasks, 10 training images)."""
     test_size = test_size if test_size is not None else scaled(160, minimum=25)
+    if jobs() > 1:
+        return run_field_jobs(
+            _image_field_task,
+            [
+                ("finance", list(methods), doc_type, field_name,
+                 train_size, test_size, seed)
+                for doc_type in doc_types
+                for field_name in finance.FINANCE_FIELDS[doc_type]
+            ],
+        )
     results: list[FieldResult] = []
     for doc_type in doc_types:
         corpus = finance.generate_corpus(
@@ -74,6 +87,45 @@ def run_finance_experiment(
     return results
 
 
+def _image_field_task(
+    dataset: str,
+    methods: Sequence[Method],
+    provider: str,
+    field_name: str,
+    train_size: int,
+    test_size: int,
+    seed: int,
+) -> list[FieldResult]:
+    """One parallel unit of the image experiments (seeded corpus rebuild)."""
+    corpus = _worker_image_corpus(
+        dataset, provider, train_size, test_size, seed
+    )
+    corpora = {corpus.train[0].setting: corpus}
+    results: list[FieldResult] = []
+    for method in methods:
+        results.extend(
+            evaluate_method(method, corpora, provider, field_name)
+        )
+    return results
+
+
+@functools.lru_cache(maxsize=2)
+def _worker_image_corpus(
+    dataset: str, provider: str, train_size: int, test_size: int, seed: int
+):
+    """Per-worker corpus memo (see ``_worker_m2h_corpora`` for the exact
+    guarantee): consecutive field tasks of one provider hit the memo
+    instead of regenerating the seeded corpus."""
+    generate = (
+        finance.generate_corpus
+        if dataset == "finance"
+        else m2h_images.generate_corpus
+    )
+    return generate(
+        provider, train_size=train_size, test_size=test_size, seed=seed
+    )
+
+
 def run_m2h_images_experiment(
     methods: Sequence[Method],
     providers: Sequence[str] = m2h_images.IMAGE_PROVIDERS,
@@ -83,6 +135,16 @@ def run_m2h_images_experiment(
 ) -> list[FieldResult]:
     """Table 4: the M2H-Images dataset (print + scan + OCR pipeline)."""
     test_size = test_size if test_size is not None else scaled(120, minimum=25)
+    if jobs() > 1:
+        return run_field_jobs(
+            _image_field_task,
+            [
+                ("m2h_images", list(methods), provider, field_name,
+                 train_size, test_size, seed)
+                for provider in providers
+                for field_name in m2h_images.fields_for(provider)
+            ],
+        )
     results: list[FieldResult] = []
     for provider in providers:
         corpus = m2h_images.generate_corpus(

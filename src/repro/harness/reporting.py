@@ -1,12 +1,18 @@
-"""Table rendering for the experiment harness.
+"""Table rendering and timing reports for the experiment harness.
 
 Formats results in the layout of the paper's tables so the benchmark output
-can be compared side by side with the published numbers.
+can be compared side by side with the published numbers, and serializes the
+per-stage wall-clock measurements (:class:`repro.core.caching.StageTimer`)
+into the ``BENCH_synthesis_speed.json`` trajectory the benchmark suite
+emits, so successive PRs can prove their speedups against recorded history.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import pathlib
+import time
 from typing import Callable, Sequence
 
 from repro.harness.runner import FieldResult, average
@@ -135,3 +141,70 @@ def wins_summary(
         f"{challenger} vs {incumbent} ({setting}): "
         f"wins {wins}, ties {ties}, losses {losses} out of {total} fields"
     )
+
+
+def timings_table(timer_snapshot: dict, title: str = "Stage timings") -> str:
+    """Render a :meth:`StageTimer.snapshot` as a per-stage table."""
+    seconds = timer_snapshot.get("seconds", {})
+    calls = timer_snapshot.get("calls", {})
+    rows = [
+        [stage, f"{seconds[stage]:.3f}", str(calls.get(stage, 0))]
+        for stage in sorted(seconds, key=seconds.get, reverse=True)
+    ]
+    return render_table(["Stage", "Seconds", "Calls"], rows, title=title)
+
+
+def record_synthesis_speed(
+    path: pathlib.Path | str,
+    experiment: str,
+    wall_seconds: float,
+    timer_snapshot: dict,
+    **context,
+) -> dict:
+    """Append one run to the ``BENCH_synthesis_speed.json`` trajectory.
+
+    The file holds ``{"schema": 1, "runs": [...]}``; each entry records the
+    experiment name, total wall-clock, the per-stage seconds/calls, the
+    cache hit/miss counters, and arbitrary ``context`` (scale, jobs, cache
+    flag).  Corrupt or pre-existing non-trajectory files are replaced
+    rather than crashing the benchmark run.
+    """
+    path = pathlib.Path(path)
+    counters = timer_snapshot.get("counters", {})
+    entry = {
+        "experiment": experiment,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "wall_seconds": round(wall_seconds, 4),
+        "stages": {
+            stage: {
+                "seconds": round(value, 4),
+                "calls": timer_snapshot.get("calls", {}).get(stage, 0),
+            }
+            for stage, value in timer_snapshot.get("seconds", {}).items()
+        },
+        "cache": {
+            "hits": sum(
+                count for name, count in counters.items()
+                if name.startswith("cache.") and name.endswith(".hit")
+            ),
+            "misses": sum(
+                count for name, count in counters.items()
+                if name.startswith("cache.") and name.endswith(".miss")
+            ),
+        },
+        **context,
+    }
+    trajectory: dict = {"schema": 1, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict) and isinstance(
+                loaded.get("runs"), list
+            ):
+                trajectory = loaded
+        except (json.JSONDecodeError, OSError):
+            pass
+    trajectory["runs"].append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return entry

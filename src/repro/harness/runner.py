@@ -4,14 +4,42 @@ This is the driver behind every table of the paper's evaluation (Section 7).
 A :class:`Method` wraps a synthesizer into a uniform ``train`` interface;
 :func:`run_m2h_experiment` reproduces the M2H HTML experiments (Tables 1-2)
 and the image experiments live in :mod:`repro.harness.images`.
+
+Environment knobs
+-----------------
+
+``REPRO_SCALE``
+    Global dataset-size multiplier (default ``0.15``).  ``REPRO_SCALE=1``
+    runs paper-scale corpora; smaller values shrink every corpus
+    proportionally (with per-corpus minimums) so the full benchmark suite
+    stays fast while preserving the reported shapes.
+
+``REPRO_JOBS``
+    Number of worker processes for the experiment drivers (default ``1`` =
+    serial).  Field tasks are independent — each ``(provider, field)`` pair
+    trains and scores every method in isolation — so the drivers fan them
+    out over a ``concurrent.futures.ProcessPoolExecutor``.  Results are
+    collected in submission order, making the output ordering (and hence
+    every rendered table) identical to a serial run.  Workers rebuild their
+    corpora from the experiment seed, so scores are bit-identical too.
+
+``REPRO_CACHE``
+    Set to ``0`` to disable the :class:`repro.core.caching.DistanceCache`
+    memoization inside ``lrsyn`` (useful for measuring the cache's effect);
+    default on.
 """
 
 from __future__ import annotations
 
+import functools
 import math
 import os
-from dataclasses import dataclass
-from typing import Sequence
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from repro.core.caching import StageTimer, active_timer, use_timer
 
 from repro.core.document import SynthesisFailure, TrainingExample
 from repro.core.dsl import Extractor, ProgramExtractor
@@ -36,6 +64,17 @@ def scale() -> float:
 
 def scaled(count: int, minimum: int = 8) -> int:
     return max(minimum, int(round(count * scale())))
+
+
+def jobs() -> int:
+    """Worker-process count for experiment drivers (``REPRO_JOBS`` env var)."""
+    raw = os.environ.get("REPRO_JOBS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be an integer (worker count), got {raw!r}"
+        ) from None
 
 
 class Method:
@@ -126,11 +165,63 @@ def evaluate_method(
         ]
     results = []
     for setting, corpus in corpora.items():
-        score = score_corpus(corpus.test_pairs(field, extractor))
+        with active_timer().stage("score"):
+            score = score_corpus(corpus.test_pairs(field, extractor))
         results.append(
             FieldResult(method.name, provider, field, setting, score, extractor)
         )
     return results
+
+
+def _transportable(result: FieldResult) -> FieldResult:
+    """Make a result safe to ship across a process boundary.
+
+    Extractors are kept when they pickle (LRSyn/NDSyn programs do, and the
+    program-size study needs them); ones that cannot cross the boundary are
+    dropped — scores are never affected.
+    """
+    if result.extractor is None:
+        return result
+    try:
+        pickle.dumps(result.extractor)
+    except Exception:
+        return replace(result, extractor=None)
+    return result
+
+
+def run_field_jobs(
+    job: Callable[..., list[FieldResult]],
+    argument_tuples: Sequence[tuple],
+) -> list[FieldResult]:
+    """Fan independent field-task jobs across ``jobs()`` worker processes.
+
+    Futures are consumed in submission order, so the concatenated results
+    are ordered exactly as the serial loop would produce them.  Each worker
+    runs under its own :class:`StageTimer`; the snapshot travels back with
+    the results and is merged into the parent's active timer, so stage
+    timings and cache counters aggregate across processes.
+    """
+    with ProcessPoolExecutor(max_workers=jobs()) as pool:
+        futures = [
+            pool.submit(_run_field_job, job, arguments)
+            for arguments in argument_tuples
+        ]
+        results: list[FieldResult] = []
+        for future in futures:
+            job_results, timer_snapshot = future.result()
+            active_timer().merge(timer_snapshot)
+            results.extend(job_results)
+    return results
+
+
+def _run_field_job(
+    job: Callable[..., list[FieldResult]], arguments: tuple
+) -> tuple[list[FieldResult], dict]:
+    """Worker entry point: run one field task under an isolated timer."""
+    timer = StageTimer()
+    with use_timer(timer):
+        results = [_transportable(result) for result in job(*arguments)]
+    return results, timer.snapshot()
 
 
 def m2h_corpora(
@@ -163,10 +254,21 @@ def run_m2h_experiment(
 
     Paper scale is 362 training / 3141 test documents over six providers
     (roughly 60/520 per provider); sizes default to the scaled-down
-    equivalents (see :func:`scale`).
+    equivalents (see :func:`scale`).  With ``REPRO_JOBS > 1`` the
+    independent ``(provider, field)`` tasks run on a process pool; see the
+    module docstring for the determinism guarantees.
     """
     train_size = train_size if train_size is not None else scaled(60)
     test_size = test_size if test_size is not None else scaled(520, minimum=30)
+    if jobs() > 1:
+        return run_field_jobs(
+            _m2h_field_task,
+            [
+                (list(methods), provider, field, train_size, test_size, seed)
+                for provider in providers
+                for field in m2h.fields_for(provider)
+            ],
+        )
     results: list[FieldResult] = []
     for provider in providers:
         corpora = m2h_corpora(provider, train_size, test_size, seed)
@@ -176,6 +278,43 @@ def run_m2h_experiment(
                     evaluate_method(method, corpora, provider, field)
                 )
     return results
+
+
+def _m2h_field_task(
+    methods: Sequence[Method],
+    provider: str,
+    field: str,
+    train_size: int,
+    test_size: int,
+    seed: int,
+) -> list[FieldResult]:
+    """One parallel unit of :func:`run_m2h_experiment`.
+
+    Rebuilds the provider's corpora inside the worker (generation is seeded
+    and therefore identical to the parent's) so only small, picklable
+    arguments cross the process boundary.
+    """
+    corpora = _worker_m2h_corpora(provider, train_size, test_size, seed)
+    results: list[FieldResult] = []
+    for method in methods:
+        results.extend(evaluate_method(method, corpora, provider, field))
+    return results
+
+
+@functools.lru_cache(maxsize=2)
+def _worker_m2h_corpora(
+    provider: str, train_size: int, test_size: int, seed: int
+) -> dict[str, Corpus]:
+    """Per-worker corpus memo.
+
+    Tasks are submitted provider-major, so the consecutive field tasks a
+    worker receives usually share a provider; the memo turns those repeats
+    into lookups.  A provider's fields can still scatter across the pool
+    (any idle worker takes the next task), so a corpus may be generated up
+    to ``min(jobs, fields)`` times — the memo is a bound on per-worker
+    rework, not a global once-per-provider guarantee.  ``maxsize=2`` keeps
+    a worker's footprint near what the serial loop holds."""
+    return m2h_corpora(provider, train_size, test_size, seed)
 
 
 def average(values: Sequence[float]) -> float:

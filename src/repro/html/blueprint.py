@@ -29,21 +29,34 @@ def document_blueprint(doc: HtmlDocument) -> frozenset[str]:
     Used for the initial fine clustering — two documents of the same format
     (same template) share the same tag structure even when they differ in
     repeated-section counts, while different providers' templates differ.
+    Memoized on the document: field tasks of one provider share docs, and
+    every synthesis run re-clusters them.
     """
-    return frozenset(node.simplified_xpath() for node in doc.elements())
+    if doc._document_blueprint is None:
+        doc._document_blueprint = frozenset(
+            node.simplified_xpath() for node in doc.elements()
+        )
+    return doc._document_blueprint
+
+
+def _short_text_values(doc: HtmlDocument) -> frozenset[str]:
+    """Short node texts of one document (memoized; see document_blueprint)."""
+    if doc._short_texts is None:
+        doc._short_texts = frozenset(
+            text
+            for node in doc.elements()
+            if (text := node.text_content())
+            and len(text) <= MAX_COMMON_VALUE_LENGTH
+        )
+    return doc._short_texts
 
 
 def common_text_values(docs: Iterable[HtmlDocument]) -> frozenset[str]:
     """Node texts present in every document (the cluster's common values)."""
     common: set[str] | None = None
     for doc in docs:
-        texts = {
-            text
-            for node in doc.elements()
-            if (text := node.text_content())
-            and len(text) <= MAX_COMMON_VALUE_LENGTH
-        }
-        common = texts if common is None else (common & texts)
+        texts = _short_text_values(doc)
+        common = set(texts) if common is None else (common & texts)
     return frozenset(common or set())
 
 

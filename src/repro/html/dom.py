@@ -25,6 +25,7 @@ class DomNode:
         "_text_content",
         "_depth",
         "_xpath",
+        "_element_count",
     )
 
     def __init__(
@@ -41,6 +42,7 @@ class DomNode:
         self._text_content: str | None = None
         self._depth: int | None = None
         self._xpath: str | None = None
+        self._element_count: int | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,6 +99,16 @@ class DomNode:
         for node in self.iter():
             if not node.is_text:
                 yield node
+
+    def element_count(self) -> int:
+        """Number of element nodes in this subtree (cached; trees are
+        immutable after parsing, like the other ``_``-prefixed memos)."""
+        if self._element_count is None:
+            count = 0 if self.is_text else 1
+            for child in self.children:
+                count += child.element_count()
+            self._element_count = count
+        return self._element_count
 
     # ------------------------------------------------------------------
     # Text
@@ -174,11 +186,17 @@ def lowest_common_ancestor(nodes: Sequence[DomNode]) -> DomNode:
     return lca
 
 
-def tree_distance(a: DomNode, b: DomNode) -> int:
-    """Number of edges on the tree path between two nodes."""
+def tree_distance(a: DomNode, b: DomNode, lca: DomNode | None = None) -> int:
+    """Number of edges on the tree path between two nodes.
+
+    ``lca`` may be supplied when the caller has already computed the
+    lowest common ancestor (landmark scoring shares it with
+    ``enclosing_region``).
+    """
     if a is b:
         return 0
-    lca = lowest_common_ancestor([a, b])
+    if lca is None:
+        lca = lowest_common_ancestor([a, b])
     return (a.depth - lca.depth) + (b.depth - lca.depth)
 
 
@@ -190,6 +208,13 @@ class HtmlDocument:
         self.source = source
         self._elements: list[DomNode] | None = None
         self._order: dict[int, int] | None = None
+        self._node_order: dict[DomNode, int] | None = None
+        self._text_matches: dict[str, list[DomNode]] = {}
+        # Derived-set memos filled in by repro.html.blueprint / landmarks;
+        # valid because the tree is immutable after parsing.
+        self._document_blueprint: frozenset[str] | None = None
+        self._short_texts: frozenset[str] | None = None
+        self._leaf_texts: frozenset[str] | None = None
 
     def elements(self) -> list[DomNode]:
         """All element nodes in document order (the document's locations)."""
@@ -200,18 +225,37 @@ class HtmlDocument:
     def document_order(self, node: DomNode) -> int:
         """Position of ``node`` in pre-order traversal (proxy for rendering
         position; see DESIGN.md on the Euclidean-distance approximation)."""
+        return self.order_index().get(id(node), 0)
+
+    def order_index(self) -> dict[int, int]:
+        """The cached ``id(element) -> document order`` map."""
         if self._order is None:
             self._order = {
                 id(element): i for i, element in enumerate(self.elements())
             }
-        return self._order.get(id(node), 0)
+        return self._order
+
+    def node_order(self) -> dict[DomNode, int]:
+        """The cached ``element -> document order`` map."""
+        if self._node_order is None:
+            self._node_order = {
+                element: i for i, element in enumerate(self.elements())
+            }
+        return self._node_order
 
     def find_by_text(self, text: str) -> list[DomNode]:
         """Minimal element nodes whose text content contains ``text``.
 
         "Minimal" means no child element also contains the text, which makes
         the located node as tight as possible around the landmark.
+
+        Memoized per query string: landmark scoring probes the same n-grams
+        against the same document from both the global and the per-cluster
+        candidate passes, and the tree is immutable after parsing.
         """
+        cached = self._text_matches.get(text)
+        if cached is not None:
+            return list(cached)
         matches = []
         for node in self.elements():
             if text not in node.text_content():
@@ -223,4 +267,5 @@ class HtmlDocument:
             ):
                 continue
             matches.append(node)
-        return matches
+        self._text_matches[text] = matches
+        return list(matches)

@@ -35,6 +35,12 @@ class HtmlDomain(Domain):
     ) -> HtmlRegion:
         return enclosing_region(locs)
 
+    def location_order(self, doc: HtmlDocument) -> dict[DomNode, int]:
+        return doc.node_order()
+
+    def location_order_by_id(self, doc: HtmlDocument) -> dict[int, int]:
+        return doc.order_index()
+
     # -- blueprints ------------------------------------------------------
     def document_blueprint(self, doc: HtmlDocument) -> frozenset[str]:
         return bp.document_blueprint(doc)

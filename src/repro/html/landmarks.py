@@ -20,7 +20,12 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.document import ScoredLandmark, TrainingExample
-from repro.html.dom import DomNode, HtmlDocument, tree_distance
+from repro.html.dom import (
+    DomNode,
+    HtmlDocument,
+    lowest_common_ancestor,
+    tree_distance,
+)
 from repro.html.region import enclosing_region
 
 MAX_NGRAM = 5
@@ -70,16 +75,22 @@ def _is_stopword_gram(gram: str) -> bool:
     return all(word in STOP_WORDS or not word.isalpha() for word in words)
 
 
-def _leaf_texts(doc: HtmlDocument) -> set[str]:
-    """Texts of leaf elements (no element children), bounded in length."""
-    texts: set[str] = set()
-    for node in doc.elements():
-        if any(not child.is_text for child in node.children):
-            continue
-        text = node.text_content()
-        if text and len(text) <= 60:
-            texts.add(text)
-    return texts
+def _leaf_texts(doc: HtmlDocument) -> frozenset[str]:
+    """Texts of leaf elements (no element children), bounded in length.
+
+    Memoized on the document: the global and per-cluster candidate passes
+    intersect leaf texts over heavily overlapping document sets.
+    """
+    if doc._leaf_texts is None:
+        texts: set[str] = set()
+        for node in doc.elements():
+            if any(not child.is_text for child in node.children):
+                continue
+            text = node.text_content()
+            if text and len(text) <= 60:
+                texts.add(text)
+        doc._leaf_texts = frozenset(texts)
+    return doc._leaf_texts
 
 
 def shared_ngrams(docs: Sequence[HtmlDocument]) -> set[str]:
@@ -114,9 +125,14 @@ def _candidate_cost(
     for value_node in value_locations:
         best = None
         for occurrence in occurrences:
-            path_nodes = tree_distance(occurrence, value_node)
-            region = enclosing_region([occurrence, value_node])
-            region_size = len(region.locations())
+            lca = lowest_common_ancestor([occurrence, value_node])
+            path_nodes = tree_distance(occurrence, value_node, lca=lca)
+            region = enclosing_region([occurrence, value_node], lca=lca)
+            # Counting via the cached subtree sizes; materializing
+            # region.locations() here dominated scoring wall-clock.
+            region_size = sum(
+                root.element_count() for root in region.roots()
+            )
             order_distance = abs(
                 doc.document_order(occurrence) - doc.document_order(value_node)
             )

@@ -27,6 +27,12 @@ class ImageDomain(Domain):
     """
 
     layout_conditional = False
+    # landmark_candidates refreshes self._patterns as a side effect, so the
+    # caching layer must never skip a call (see Domain.pure_landmarks).
+    pure_landmarks = False
+    # summary_distance matches greedily over its first argument, so
+    # d(a, b) != d(b, a) in general; the cache must key on orientation.
+    symmetric_distance = False
 
     def __init__(self) -> None:
         # Patterns for Relative motions, refreshed per synthesis call.

@@ -35,8 +35,11 @@ class TestTypicalBlueprint:
         ]
         assert typical_blueprint(blueprints) == frozenset({"a", "b"})
 
-    def test_empty(self):
-        assert typical_blueprint([]) == frozenset()
+    def test_empty_raises(self):
+        # An empty input has no meaningful average: a frozenset() fallback
+        # would be wrong-typed for non-set blueprint domains (BoxSummary).
+        with pytest.raises(SynthesisFailure):
+            typical_blueprint([])
 
     def test_medoid_with_distance(self):
         def distance(x, y):

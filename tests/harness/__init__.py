@@ -1,0 +1,1 @@
+"""Test package (prevents basename collisions across test subpackages)."""

@@ -1,0 +1,86 @@
+"""Parallel experiment runner: REPRO_JOBS fan-out must not change results."""
+
+import math
+
+import pytest
+
+from repro.harness.images import (
+    AfrMethod,
+    LrsynImageMethod,
+    run_finance_experiment,
+)
+from repro.harness.runner import (
+    FieldResult,
+    LrsynHtmlMethod,
+    NdsynMethod,
+    _transportable,
+    jobs,
+    run_m2h_experiment,
+)
+
+
+def result_keys(results):
+    """The observable outcome of a run: ordering plus per-field scores."""
+    return [
+        (r.method, r.provider, r.field, r.setting,
+         r.f1, r.precision, r.recall)
+        for r in results
+    ]
+
+
+def assert_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for left, right in zip(result_keys(serial), result_keys(parallel)):
+        assert left[:4] == right[:4]
+        for a, b in zip(left[4:], right[4:]):
+            assert (math.isnan(a) and math.isnan(b)) or a == b
+
+
+class TestJobsKnob:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert jobs() == 1
+
+    def test_env_override_and_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert jobs() == 4
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert jobs() == 1
+
+
+class TestParallelMatchesSerial:
+    def test_m2h_scores_identical(self, monkeypatch):
+        methods = [NdsynMethod(), LrsynHtmlMethod()]
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = run_m2h_experiment(
+            methods, providers=["delta"], train_size=4, test_size=5
+        )
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = run_m2h_experiment(
+            methods, providers=["delta"], train_size=4, test_size=5
+        )
+        assert_identical(serial, parallel)
+
+    @pytest.mark.slow
+    def test_finance_scores_identical(self, monkeypatch):
+        methods = [AfrMethod(), LrsynImageMethod()]
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = run_finance_experiment(
+            methods, doc_types=["AccountsInvoice"], train_size=3, test_size=4
+        )
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        parallel = run_finance_experiment(
+            methods, doc_types=["AccountsInvoice"], train_size=3, test_size=4
+        )
+        assert_identical(serial, parallel)
+
+
+class TestTransportable:
+    def test_picklable_extractor_is_kept(self):
+        result = FieldResult("m", "p", "f", "s", None, extractor="picklable")
+        assert _transportable(result).extractor == "picklable"
+
+    def test_unpicklable_extractor_is_dropped(self):
+        unpicklable = lambda doc: None  # noqa: E731 - locals don't pickle
+        result = FieldResult("m", "p", "f", "s", None, extractor=unpicklable)
+        assert _transportable(result).extractor is None

@@ -1,0 +1,36 @@
+"""Regression: the test tree must collect without basename collisions.
+
+The seed repo had no ``__init__.py`` in the test packages, so pytest
+imported ``tests/html/test_blueprint.py`` and ``tests/images/test_blueprint.py``
+under the same top-level module name and aborted collection with an "import
+file mismatch" error before running a single test.  Importing both modules
+under their package-qualified names locks in the fix.
+"""
+
+import importlib
+import pathlib
+
+
+DUPLICATED_BASENAMES = [
+    ("tests.html.{}", "tests.images.{}"),
+]
+
+
+def test_same_named_test_modules_are_distinct():
+    for html_tpl, images_tpl in DUPLICATED_BASENAMES:
+        for basename in ("test_blueprint", "test_domain", "test_region_dsl"):
+            html_mod = importlib.import_module(html_tpl.format(basename))
+            images_mod = importlib.import_module(images_tpl.format(basename))
+            assert html_mod is not images_mod
+            assert html_mod.__file__ != images_mod.__file__
+
+
+def test_every_test_directory_is_a_package():
+    tests_root = pathlib.Path(__file__).parent
+    for directory in [tests_root, *tests_root.iterdir()]:
+        if not directory.is_dir() or directory.name == "__pycache__":
+            continue
+        assert (directory / "__init__.py").exists(), (
+            f"{directory} lacks __init__.py: same-named test modules in "
+            "sibling packages would collide at collection time"
+        )
