@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.baselines.disjunctive import Candidate, select_disjuncts
+from repro.core.caching import cache_enabled
 from repro.core.document import SynthesisFailure, TrainingExample
 from repro.core.dsl import Extractor
 from repro.html.dom import DomNode, HtmlDocument
@@ -46,6 +47,27 @@ class AbsStep:
 
     def matches(self, siblings: Sequence[DomNode]) -> list[DomNode]:
         same_tag = [node for node in siblings if node.tag == self.tag]
+        return self._select(same_tag)
+
+    def matches_children(self, parent: DomNode) -> list[DomNode]:
+        """Match among ``parent``'s element children via the cached per-tag
+        index (:meth:`DomNode.children_by_tag`) instead of a sibling scan.
+
+        Identical to ``matches(parent's element children)`` — the index
+        holds the same tag-filtered, order-preserving list the scan would
+        build.  The returned list may be the cached one; callers must not
+        mutate it.  With ``REPRO_CACHE=0`` the index is bypassed and the
+        sibling scan runs, so the memo-free baseline really measures the
+        unindexed pipeline.
+        """
+        if not cache_enabled():
+            return self.matches(
+                [c for c in parent.children if not c.is_text]
+            )
+        same_tag = parent.children_by_tag().get(self.tag, [])
+        return self._select(same_tag)
+
+    def _select(self, same_tag: list[DomNode]) -> list[DomNode]:
         if self.class_name is not None:
             same_tag = [
                 node
@@ -78,12 +100,11 @@ class AbsSelector:
     steps: tuple[AbsStep, ...]
 
     def select_all(self, doc: HtmlDocument) -> list[DomNode]:
-        frontier = [doc.root]
+        frontier: list[DomNode] = [doc.root]
         for step in self.steps:
             next_frontier: list[DomNode] = []
             for node in frontier:
-                children = [c for c in node.children if not c.is_text]
-                next_frontier.extend(step.matches(children))
+                next_frontier.extend(step.matches_children(node))
             frontier = next_frontier
             if not frontier:
                 return []
@@ -123,9 +144,20 @@ class NdsynDisjunct:
     selector: AbsSelector | GlobalIdSelector
     text_program: TextProgram
 
-    def run(self, doc: HtmlDocument) -> list[str]:
+    def run(
+        self, doc: HtmlDocument, nodes: Sequence[DomNode] | None = None
+    ) -> list[str]:
+        """Extract values; ``nodes`` may carry a pre-selected node list.
+
+        Synthesis-time coverage checks pass the memoized selection (see
+        :class:`SelectorEvaluator`) — which equals
+        ``selector.select_all(doc)`` by construction — so the text-program
+        logic here stays the single source of truth for both paths.
+        """
+        if nodes is None:
+            nodes = self.selector.select_all(doc)
         values = []
-        for node in self.selector.select_all(doc):
+        for node in nodes:
             value = self.text_program(node.text_content())
             if value is not None:
                 values.append(value)
@@ -182,10 +214,64 @@ def _signature(node: DomNode) -> tuple[str, ...]:
 def _positions(node: DomNode) -> tuple[int, int]:
     """(nth-of-type, nth-last-of-type), 1-based, among element siblings."""
     parent = node.parent
-    siblings = [c for c in parent.children if not c.is_text] if parent else [node]
-    same_tag = [c for c in siblings if c.tag == node.tag]
+    if parent is None:
+        same_tag = [node]
+    elif cache_enabled():
+        same_tag = parent.children_by_tag().get(node.tag, [node])
+    else:
+        same_tag = [
+            c for c in parent.children if not c.is_text and c.tag == node.tag
+        ]
     index = same_tag.index(node)
     return index + 1, len(same_tag) - index
+
+
+class SelectorEvaluator:
+    """Per-synthesis memo of selector evaluations on the training docs.
+
+    The candidate pool enumerates up to :data:`MAX_SELECTOR_VARIANTS`
+    step-chains per signature group — a cartesian product whose members
+    share almost every prefix — and evaluates each against every training
+    document.  Memoizing the frontier per ``(document, step-prefix)``
+    collapses that shared work: each distinct prefix walks the DOM once
+    per document.  Frontiers are exactly ``AbsSelector.select_all``'s
+    intermediate states, so memoized selection is equal to fresh
+    evaluation (asserted by the equivalence test).  Scoped to one
+    ``synthesize_ndsyn`` call; keys use ``id(doc)`` on documents the
+    caller keeps alive.
+    """
+
+    def __init__(self) -> None:
+        self._frontiers: dict[tuple, tuple[DomNode, ...]] = {}
+        self._by_id: dict[tuple[int, str], list[DomNode]] = {}
+
+    def select_all(
+        self, doc: HtmlDocument, selector: "AbsSelector | GlobalIdSelector"
+    ) -> list[DomNode]:
+        if isinstance(selector, AbsSelector):
+            return list(self._frontier(doc, selector.steps))
+        key = (id(doc), selector.id_value)
+        nodes = self._by_id.get(key)
+        if nodes is None:
+            nodes = selector.select_all(doc)
+            self._by_id[key] = nodes
+        return list(nodes)
+
+    def _frontier(
+        self, doc: HtmlDocument, steps: tuple[AbsStep, ...]
+    ) -> tuple[DomNode, ...]:
+        if not steps:
+            return (doc.root,)
+        key = (id(doc), steps)
+        frontier = self._frontiers.get(key)
+        if frontier is None:
+            step = steps[-1]
+            nodes: list[DomNode] = []
+            for node in self._frontier(doc, steps[:-1]):
+                nodes.extend(step.matches_children(node))
+            frontier = tuple(nodes)
+            self._frontiers[key] = frontier
+        return frontier
 
 
 # Cap on the number of enumerated selector variants per signature group.
@@ -281,30 +367,72 @@ def synthesize_ndsyn(
     if len(ids) == 1 and None not in ids and ids != {""}:
         candidate_pool.append((GlobalIdSelector(ids.pop()), list(range(len(targets)))))
 
-    # Signature-grouped path generalizations.
+    # Hot-path memoization (selector-prefix frontiers, per-group text
+    # programs, per-node root paths) obeys the same knob as every other
+    # memo layer: REPRO_CACHE=0 measures the memo-free pipeline.
+    memoize = cache_enabled()
+
+    # Signature-grouped path generalizations.  Root paths are memoized per
+    # node: each annotated node's path is needed once for its signature and
+    # once for selector enumeration.
+    paths_of: dict[int, list[DomNode]] = {}
+
+    def node_path(node: DomNode) -> list[DomNode]:
+        if not memoize:
+            return _node_path(node)
+        path = paths_of.get(id(node))
+        if path is None:
+            path = _node_path(node)
+            paths_of[id(node)] = path
+        return path
+
     groups: dict[tuple[str, ...], list[int]] = {}
     for index, (_, node, _) in enumerate(targets):
-        groups.setdefault(_signature(node), []).append(index)
+        signature = tuple(n.tag for n in node_path(node))
+        groups.setdefault(signature, []).append(index)
     for indices in groups.values():
-        paths = [_node_path(targets[i][1]) for i in indices]
+        paths = [node_path(targets[i][1]) for i in indices]
         for selector in _enumerate_group_selectors(paths):
             candidate_pool.append((selector, indices))
 
     # Attach text programs and evaluate coverage per training document.
+    # Every selector of one signature group shares the same text examples,
+    # so the text program is synthesized once per group, not once per
+    # selector variant; selector evaluation goes through the
+    # prefix-memoized evaluator; and the expected aggregates are hoisted
+    # out of the per-candidate loop.
+    text_programs: dict[tuple[int, ...], TextProgram | None] = {}
+    evaluator = SelectorEvaluator() if memoize else None
+    expected = [example.annotation.aggregate() for example in examples]
     candidates: list[Candidate[NdsynDisjunct]] = []
     for selector, indices in candidate_pool:
-        text_examples = [
-            (targets[i][1].text_content(), targets[i][2]) for i in indices
-        ]
-        try:
-            text_program = synthesize_text_program(text_examples)
-        except SynthesisFailure:
+        group_key = tuple(indices)
+        if not memoize or group_key not in text_programs:
+            text_examples = [
+                (targets[i][1].text_content(), targets[i][2]) for i in indices
+            ]
+            try:
+                text_programs[group_key] = synthesize_text_program(
+                    text_examples
+                )
+            except SynthesisFailure:
+                text_programs[group_key] = None
+        text_program = text_programs[group_key]
+        if text_program is None:
             continue
         disjunct = NdsynDisjunct(selector=selector, text_program=text_program)
         covered = frozenset(
             doc_index
             for doc_index, example in enumerate(examples)
-            if disjunct.run(example.doc) == example.annotation.aggregate()
+            if disjunct.run(
+                example.doc,
+                nodes=(
+                    evaluator.select_all(example.doc, selector)
+                    if evaluator is not None
+                    else None
+                ),
+            )
+            == expected[doc_index]
         )
         # Generalization sanity: a disjunct synthesized from one document
         # only (covering a single example) is over-fit noise; the real

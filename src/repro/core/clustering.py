@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
+from repro.core import parallel
 from repro.core.caching import DistanceCache, active_timer
 from repro.core.document import (
     Annotation,
@@ -30,6 +31,13 @@ from repro.core.document import (
     ScoredLandmark,
     TrainingExample,
 )
+
+# Blocked-kernel tuning: edge length of one tile of the distance matrix,
+# and the minimum number of pairwise computations before forking a worker
+# pool pays for itself (pool startup is ~tens of ms; a Jaccard distance is
+# microseconds, so small problems stay serial).
+DISTANCE_TILE = 64
+MIN_PARALLEL_PAIRS = 2048
 
 
 @dataclass
@@ -44,6 +52,131 @@ class ClusterInfo:
         return len(self.examples)
 
 
+# ----------------------------------------------------------------------
+# Blocked shared-memory pairwise kernel (PaLD-style tiling)
+# ----------------------------------------------------------------------
+def _matrix_tile(tile) -> list[tuple[int, int, float]]:
+    """Worker: distances for one ``(rows, cols)`` tile of the matrix."""
+    domain, blueprints, symmetric = parallel.shared_payload()
+    (row_start, row_stop), (col_start, col_stop) = tile
+    out: list[tuple[int, int, float]] = []
+    for i in range(row_start, row_stop):
+        for j in range(col_start, col_stop):
+            if i == j or (symmetric and j < i):
+                continue
+            out.append(
+                (i, j, domain.blueprint_distance(blueprints[i], blueprints[j]))
+            )
+    return out
+
+
+def pairwise_distance_matrix(
+    domain: Domain,
+    blueprints: Sequence[Hashable],
+    tile: int = DISTANCE_TILE,
+    n_jobs: int | None = None,
+) -> dict[tuple[int, int], float]:
+    """All pairwise blueprint distances, computed in blocked tiles.
+
+    The index space ``[0, n)²`` is partitioned into ``tile × tile`` blocks
+    that fan out over a fork-shared worker pool (see
+    :mod:`repro.core.parallel`); for symmetric metrics only the upper
+    triangle is computed, for asymmetric metrics (image BoxSummary
+    matching) both orientations.  Results merge in tile submission order,
+    so the returned mapping is identical to a serial double loop —
+    parallelism never changes a value.  Small inputs (fewer than
+    :data:`MIN_PARALLEL_PAIRS` pairs) skip the pool outright.
+    """
+    n = len(blueprints)
+    if n <= 1:
+        return {}
+    symmetric = getattr(domain, "symmetric_distance", True)
+    ranges = parallel.tile_ranges(n, tile)
+    tiles = [
+        (rows, cols)
+        for rows in ranges
+        for cols in ranges
+        if not (symmetric and cols[1] <= rows[0])
+    ]
+    total_pairs = n * (n - 1) // (2 if symmetric else 1)
+    n_jobs = parallel.kernel_jobs() if n_jobs is None else n_jobs
+    if total_pairs < MIN_PARALLEL_PAIRS:
+        n_jobs = 1
+    payload = (domain, list(blueprints), symmetric)
+    results = parallel.run_sharded(payload, _matrix_tile, tiles, n_jobs)
+    matrix: dict[tuple[int, int], float] = {}
+    for tile_result in results:
+        for i, j, value in tile_result:
+            matrix[(i, j)] = value
+    return matrix
+
+
+def _pair_shard(shard) -> list[float]:
+    """Worker: distances for one block of an explicit pair list."""
+    domain, pairs = parallel.shared_payload()
+    start, stop = shard
+    return [
+        domain.blueprint_distance(bp_a, bp_b)
+        for bp_a, bp_b in pairs[start:stop]
+    ]
+
+
+def prefill_pairwise_distances(
+    domain: Domain,
+    pairs: Sequence[tuple[Hashable, Hashable]],
+    cache: DistanceCache,
+    tile: int = DISTANCE_TILE * 8,
+) -> None:
+    """Compute an explicit pair list in parallel and seed the cache.
+
+    The merge loop's distance demand is a *sparse* matrix (only blueprint
+    pairs sharing a landmark candidate), so rather than tiling the dense
+    index space we tile the deduplicated pair list itself.  Each seeded
+    value equals ``domain.blueprint_distance`` exactly, so the serial loop
+    that follows is byte-identical to an unprefetched run — just faster.
+    """
+    n_jobs = parallel.kernel_jobs()
+    if n_jobs <= 1 or not cache.enabled:
+        return
+    if len(pairs) < MIN_PARALLEL_PAIRS:
+        return
+    pairs = list(pairs)
+    shards = parallel.tile_ranges(len(pairs), tile)
+    results = parallel.run_sharded((domain, pairs), _pair_shard, shards, n_jobs)
+    for (start, stop), values in zip(shards, results):
+        for (bp_a, bp_b), value in zip(pairs[start:stop], values):
+            cache.prime_distance(bp_a, bp_b, value)
+
+
+def _missing_merge_pairs(
+    domain: Domain,
+    clusters: Sequence[list[TrainingExample]],
+    roi_of: dict[int, dict[str, Hashable]],
+    cache: DistanceCache,
+) -> list[tuple[Hashable, Hashable]]:
+    """The distance pairs the first merge round will request, deduplicated."""
+    symmetric = getattr(domain, "symmetric_distance", True)
+    seen: set[tuple[Hashable, Hashable]] = set()
+    pairs: list[tuple[Hashable, Hashable]] = []
+    for i in range(len(clusters)):
+        for j in range(i + 1, len(clusters)):
+            for ex_a in clusters[i]:
+                roi_a = roi_of[id(ex_a)]
+                for ex_b in clusters[j]:
+                    roi_b = roi_of[id(ex_b)]
+                    for landmark in set(roi_a) & set(roi_b):
+                        pair = (roi_a[landmark], roi_b[landmark])
+                        if pair in seen:
+                            continue
+                        if symmetric and (pair[1], pair[0]) in seen:
+                            continue
+                        seen.add(pair)
+                        if cache.distance_cached(*pair):
+                            continue
+                        pairs.append(pair)
+    return pairs
+
+
 def fine_cluster(
     domain: Domain,
     examples: Sequence[TrainingExample],
@@ -55,11 +188,34 @@ def fine_cluster(
     Single-linkage agglomeration: an example joins the first cluster holding
     a document whose blueprint is within ``threshold``.  This produces the
     "large number of very fine-grained clusters" of Section 2.1.
+
+    With ``REPRO_JOBS > 1`` and enough documents, the full blueprint
+    distance matrix is precomputed by the blocked parallel kernel and
+    seeded into the cache first; the agglomeration loop below then only
+    performs lookups, and its placements are unchanged.
     """
     cache = cache or DistanceCache(domain)
     clusters: list[list[TrainingExample]] = []
     blueprints: list[list[Hashable]] = []
     with active_timer().stage("cluster"):
+        n = len(examples)
+        if (
+            cache.enabled
+            and parallel.kernel_jobs() > 1
+            and n * (n - 1) // 2 >= MIN_PARALLEL_PAIRS
+        ):
+            doc_blueprints = [
+                cache.document_blueprint(example.doc) for example in examples
+            ]
+            matrix = pairwise_distance_matrix(domain, doc_blueprints)
+            for (i, j), value in matrix.items():
+                # Speculative (full-matrix) values seed L1 only; the
+                # serial loop's true demand is a sparse subset and the
+                # store shouldn't carry the rest.
+                cache.prime_distance(
+                    doc_blueprints[i], doc_blueprints[j], value,
+                    persist=False,
+                )
         for example in examples:
             blueprint = cache.document_blueprint(example.doc)
             placed = False
@@ -147,6 +303,7 @@ def _roi_blueprints(
             candidate.value,
             common_values,
             lambda landmark=candidate.value: compute(landmark),
+            annotation=example.annotation,
         )
         if blueprint is not None:
             result[candidate.value] = blueprint
@@ -225,8 +382,17 @@ def infer_landmarks_and_clusters(
                 )
 
     # Merge clusters while some pair is within the merge threshold
-    # (lines 10-15).
+    # (lines 10-15).  The first round's pairwise ROI distances — the full
+    # demand of the whole loop, since merging never adds examples — are
+    # precomputed by the blocked parallel kernel when workers are
+    # available, so the serial decision loop below only performs lookups.
     with active_timer().stage("cluster"):
+        if len(clusters) > 1 and parallel.kernel_jobs() > 1:
+            prefill_pairwise_distances(
+                domain,
+                _missing_merge_pairs(domain, clusters, roi_of, cache),
+                cache,
+            )
         merged = True
         while merged and len(clusters) > 1:
             merged = False

@@ -15,6 +15,7 @@ in :mod:`repro.html.domain` and :mod:`repro.images.domain`.
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Sequence
 
@@ -117,6 +118,12 @@ class Domain(abc.ABC):
     layout_conditional: bool = True
     pure_landmarks: bool = True
     symmetric_distance: bool = True
+    # Substrate name used in persistent-store keys (one namespace per
+    # concrete document kind; see repro.core.store).  ``None`` opts the
+    # domain out of the persistent store entirely — ad-hoc domains (tests,
+    # experiments) must not share a key namespace, since two domains with
+    # different metrics would alias each other's entries.
+    substrate: str | None = None
 
     # ------------------------------------------------------------------
     # Locations and data values
@@ -153,6 +160,60 @@ class Domain(abc.ABC):
         equality; used by the ``Extract`` interpreter on every document.
         """
         return {id(loc): i for i, loc in enumerate(self.locations(doc))}
+
+    # ------------------------------------------------------------------
+    # Content fingerprints (persistent-store keys)
+    # ------------------------------------------------------------------
+    def document_fingerprint(self, doc: Any) -> str | None:
+        """Stable content hash of ``doc``, or ``None`` to opt out.
+
+        Two documents with identical content must fingerprint identically
+        across processes and runs; the fingerprint keys the persistent
+        :class:`repro.core.store.BlueprintStore` (L2), so it must depend
+        only on document *content* — never on object identity, corpus
+        position, or any ``REPRO_*`` runtime knob.  The default opts the
+        domain out of the store entirely.
+        """
+        return None
+
+    def location_fingerprint(self, doc: Any, loc: Location) -> str | None:
+        """Stable per-document identifier of one location (or ``None``).
+
+        Must distinguish every location of one document (an indexed XPath,
+        a reading-order index) so annotation fingerprints are collision
+        free.
+        """
+        return None
+
+    def annotation_fingerprint(
+        self, doc: Any, annotation: "Annotation"
+    ) -> str | None:
+        """Content hash of an annotation (via location fingerprints)."""
+        parts: list[str] = []
+        for group in annotation.groups:
+            for loc in group.locations:
+                fingerprint = self.location_fingerprint(doc, loc)
+                if fingerprint is None:
+                    return None
+                parts.append(fingerprint)
+            parts.append(group.value)
+        hasher = hashlib.sha256()
+        for part in parts:
+            hasher.update(b"\x00")
+            hasher.update(part.encode("utf-8"))
+        return hasher.hexdigest()
+
+    def example_fingerprint(self, example: "TrainingExample") -> str | None:
+        """Content hash of one training example (document + annotation)."""
+        doc_fingerprint = self.document_fingerprint(example.doc)
+        if doc_fingerprint is None:
+            return None
+        annotation_fingerprint = self.annotation_fingerprint(
+            example.doc, example.annotation
+        )
+        if annotation_fingerprint is None:
+            return None
+        return f"{doc_fingerprint}:{annotation_fingerprint}"
 
     # ------------------------------------------------------------------
     # Blueprints

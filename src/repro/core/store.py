@@ -1,0 +1,474 @@
+"""Persistent content-hash blueprint store (the cache hierarchy's L2).
+
+:class:`repro.core.caching.DistanceCache` memoizes blueprints and pairwise
+distances per ``lrsyn`` call (L1), so every benchmark run, CI job and
+repeated experiment still recomputes the same quantities from scratch.
+:class:`BlueprintStore` persists them on disk, keyed by **document content
+hash** (never by object identity, file path, or corpus position), so the
+expensive computations survive across processes and runs:
+
+* whole-document blueprints, keyed by the document fingerprint;
+* ROI blueprints, keyed by ``(document, annotation, landmark,
+  common-values)`` fingerprints;
+* pairwise blueprint distances, keyed by the canonical digests of the two
+  blueprint values (orientation-ordered for asymmetric metrics);
+* landmark-candidate lists, keyed by the ordered example fingerprints
+  (side-effect-free domains only).
+
+Every key additionally folds in the *substrate* (``html`` / ``images``),
+the store :data:`SCHEMA_VERSION` and :data:`BLUEPRINT_ALGO_VERSION` — bump
+the latter whenever a blueprint, distance or landmark-scoring algorithm
+changes so stale entries can never leak across incompatible code revisions.
+Keys are deliberately independent of ``REPRO_SCALE``, ``REPRO_JOBS`` and
+every other runtime knob: the same document must hit the same entry no
+matter how the experiment around it is configured.
+
+Storage is a single sqlite database under ``~/.cache/repro`` (override the
+directory with ``REPRO_STORE_DIR``; disable the store entirely with
+``REPRO_STORE=0``).  Writes are batched and flushed under an advisory file
+lock so concurrent CI jobs sharing one cache directory cannot corrupt the
+database.  Values round-trip through :mod:`pickle`, which preserves the
+exact ``frozenset`` / tuple blueprint values, so runs served from the store
+stay byte-identical to cold runs.
+
+The ``repro-store`` console script (see ``pyproject.toml``) exposes
+``stats`` and ``clear`` subcommands for cache-directory hygiene.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import hashlib
+import os
+import pickle
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any
+
+# Bump whenever a blueprint, blueprint-distance or landmark-scoring
+# algorithm changes observable output: the version is folded into every
+# entry key, so old entries become unreachable instead of silently serving
+# stale values.  (Covered by tests/core/test_store.py.)
+BLUEPRINT_ALGO_VERSION = 1
+
+# Bump when the sqlite layout itself changes; a mismatch wipes the database
+# on open rather than attempting migration.
+SCHEMA_VERSION = 1
+
+_DB_NAME = "blueprints.sqlite"
+_LOCK_NAME = "store.lock"
+
+# Kinds whose values are large blobs (multi-MB pickled corpora): looked up
+# by key with point SELECTs instead of hydrating the whole kind into
+# memory — a warm run typically needs only its own configuration's rows.
+_LARGE_KINDS = frozenset({"corpus"})
+
+# Batched writes are flushed once this many puts accumulate (and at
+# interpreter exit / explicit flush()).  Large batches keep cold runs
+# cheap: one locked transaction amortizes over thousands of entries.
+FLUSH_THRESHOLD = 4096
+
+
+def store_enabled() -> bool:
+    """Whether the persistent store is active (``REPRO_STORE`` env knob)."""
+    return os.environ.get("REPRO_STORE", "1") != "0"
+
+
+def store_dir() -> Path:
+    """The cache directory (``REPRO_STORE_DIR``, default ``~/.cache/repro``)."""
+    override = os.environ.get("REPRO_STORE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def canonical_digest(value: Any) -> str:
+    """Stable content digest of a blueprint-like value.
+
+    Set elements are serialized in sorted canonical order, so two equal
+    ``frozenset`` values always digest identically even though their
+    iteration order (and pickle) differs from run to run.
+    """
+    return hashlib.sha256(_canonical_bytes(value)).hexdigest()
+
+
+def _canonical_bytes(value: Any) -> bytes:
+    if isinstance(value, (frozenset, set)):
+        inner = sorted(_canonical_bytes(element) for element in value)
+        return b"{" + b",".join(inner) + b"}"
+    if isinstance(value, (tuple, list)):
+        return b"(" + b",".join(_canonical_bytes(el) for el in value) + b")"
+    if isinstance(value, str):
+        return b"s" + value.encode("utf-8")
+    if isinstance(value, bool) or value is None:
+        return repr(value).encode("ascii")
+    if isinstance(value, (int, float)):
+        return repr(value).encode("ascii")
+    # Last resort for exotic blueprint element types: repr is assumed
+    # deterministic for value-like objects.
+    return b"r" + repr(value).encode("utf-8")
+
+
+def entry_key(substrate: str, kind: str, *parts: str) -> str:
+    """Derive one store key from content-hash parts.
+
+    Folds in :data:`BLUEPRINT_ALGO_VERSION` so incompatible code revisions
+    can never share entries.  ``parts`` must already be content-derived
+    (fingerprints/digests) — nothing configuration-dependent belongs here.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"algo={BLUEPRINT_ALGO_VERSION}".encode("ascii"))
+    hasher.update(f"|{substrate}|{kind}".encode("utf-8"))
+    for part in parts:
+        hasher.update(b"\x00")
+        hasher.update(part.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@contextlib.contextmanager
+def file_lock(path: Path):
+    """Advisory exclusive lock for cross-process write serialization.
+
+    Uses ``fcntl.flock`` where available (Linux/macOS — including every CI
+    runner this repo targets); on platforms without ``fcntl`` it degrades
+    to sqlite's own locking, which still guarantees consistency, just with
+    busy-retry instead of blocking.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    with open(path, "a+b") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+class BlueprintStore:
+    """On-disk content-addressed store for blueprints and distances.
+
+    Entries are hydrated into an in-memory table on first access per kind,
+    so warm lookups are dictionary gets, not sqlite queries.  ``put`` is
+    buffered; :meth:`flush` writes the batch inside one locked transaction.
+    The store is fork-aware: a child process inherits the object but not
+    the sqlite connection, which is transparently reopened (and the
+    parent's pending batch dropped — the parent flushes its own writes).
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        self.directory = Path(directory) if directory else store_dir()
+        self.enabled = store_enabled() if enabled is None else enabled
+        self.path = self.directory / _DB_NAME
+        self._lock_path = self.directory / _LOCK_NAME
+        self._conn: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+        self._mem: dict[str, dict[str, Any]] = {}
+        self._hydrated: set[str] = set()
+        # (key, kind, substrate, payload, already_pickled)
+        self._pending: list[tuple[str, str, str, Any, bool]] = []
+        self.hits = 0
+        self.misses = 0
+        if self.enabled:
+            atexit.register(self.flush)
+
+    # -- connection management ------------------------------------------
+    def _connect(self) -> sqlite3.Connection | None:
+        if not self.enabled:
+            return None
+        if self._pid != os.getpid():
+            # Forked child: the inherited connection (and any batched
+            # writes) belong to the parent.
+            self._conn = None
+            self._pending = []
+            self._mem = {}
+            self._hydrated = set()
+            self._pid = os.getpid()
+        if self._conn is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            self._ensure_schema(conn)
+            self._conn = conn
+        return self._conn
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta"
+            " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS entries ("
+            " key TEXT PRIMARY KEY,"
+            " kind TEXT NOT NULL,"
+            " substrate TEXT NOT NULL,"
+            " value BLOB NOT NULL,"
+            " created REAL NOT NULL)"
+        )
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+        elif row[0] != str(SCHEMA_VERSION):
+            conn.execute("DELETE FROM entries")
+            conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+
+    def _hydrate(self, kind: str) -> dict[str, Any]:
+        table = self._mem.get(kind)
+        if table is None:
+            table = self._mem[kind] = {}
+        if kind in self._hydrated:
+            return table
+        conn = self._connect()
+        if conn is not None:
+            try:
+                rows = conn.execute(
+                    "SELECT key, value FROM entries WHERE kind = ?", (kind,)
+                ).fetchall()
+            except sqlite3.DatabaseError:
+                rows = []
+            for key, blob in rows:
+                try:
+                    table.setdefault(key, pickle.loads(blob))
+                except Exception:
+                    continue
+        self._hydrated.add(kind)
+        return table
+
+    # -- lookups ---------------------------------------------------------
+    _SENTINEL = object()
+
+    def get(self, kind: str, key: str) -> Any:
+        """The stored value, or :data:`BlueprintStore.MISS` when absent."""
+        if not self.enabled:
+            return self.MISS
+        if kind in _LARGE_KINDS:
+            return self._get_keyed(kind, key)
+        table = self._hydrate(kind)
+        value = table.get(key, self._SENTINEL)
+        if value is self._SENTINEL:
+            self.misses += 1
+            return self.MISS
+        self.hits += 1
+        return value
+
+    def _get_keyed(self, kind: str, key: str) -> Any:
+        """Point lookup for large-blob kinds (no kind-wide hydration)."""
+        table = self._mem.setdefault(kind, {})
+        value = table.get(key, self._SENTINEL)
+        if value is self._SENTINEL:
+            conn = self._connect()
+            row = None
+            if conn is not None:
+                try:
+                    row = conn.execute(
+                        "SELECT value FROM entries WHERE key = ?", (key,)
+                    ).fetchone()
+                except sqlite3.DatabaseError:
+                    row = None
+            if row is not None:
+                try:
+                    value = pickle.loads(row[0])
+                except Exception:
+                    value = self._SENTINEL
+            if value is not self._SENTINEL:
+                table[key] = value
+        if value is self._SENTINEL:
+            self.misses += 1
+            return self.MISS
+        self.hits += 1
+        return value
+
+    def put(
+        self,
+        kind: str,
+        key: str,
+        substrate: str,
+        value: Any,
+        overwrite: bool = False,
+        eager: bool = False,
+    ) -> None:
+        """Buffer one entry; flushed in batches under the file lock.
+
+        ``eager`` pickles the value immediately (snapshotting its current
+        state) instead of at flush time — used for corpus entries, whose
+        documents keep accumulating memos after the put.  ``overwrite``
+        replaces an existing entry (the corpus memo-upgrade path).
+        """
+        if not self.enabled:
+            return
+        if kind in _LARGE_KINDS:
+            # No kind-wide hydration for blob kinds; callers pre-check
+            # existence via get(), and INSERT OR REPLACE is idempotent.
+            table = self._mem.setdefault(kind, {})
+            if key in table and not overwrite:
+                return
+        else:
+            table = self._hydrate(kind)
+            if key in table and not overwrite:
+                return
+        table[key] = value
+        payload = pickle.dumps(value) if eager else value
+        self._pending.append((key, kind, substrate, payload, eager))
+        if len(self._pending) >= FLUSH_THRESHOLD:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the batched puts inside one locked transaction."""
+        if not self.enabled or not self._pending:
+            return
+        if self._pid != os.getpid():
+            # Forked child inherited the parent's batch: drop it (the
+            # parent owns those writes) and start clean.
+            self._connect()
+            return
+        pending, self._pending = self._pending, []
+        conn = self._connect()
+        if conn is None:
+            return
+        now = time.time()
+        rows = [
+            (
+                key,
+                kind,
+                substrate,
+                payload if pickled else pickle.dumps(payload),
+                now,
+            )
+            for key, kind, substrate, payload, pickled in pending
+        ]
+        with file_lock(self._lock_path):
+            conn.executemany(
+                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
+            )
+            conn.commit()
+
+    # -- hygiene ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Entry counts by (substrate, kind) plus file size and versions."""
+        counts: dict[str, int] = {}
+        total = 0
+        conn = self._connect() if self.enabled else None
+        if conn is not None:
+            self.flush()
+            for substrate, kind, count in conn.execute(
+                "SELECT substrate, kind, COUNT(*) FROM entries"
+                " GROUP BY substrate, kind ORDER BY substrate, kind"
+            ):
+                counts[f"{substrate}/{kind}"] = count
+                total += count
+        size = self.path.stat().st_size if self.path.exists() else 0
+        return {
+            "path": str(self.path),
+            "enabled": self.enabled,
+            "schema_version": SCHEMA_VERSION,
+            "algo_version": BLUEPRINT_ALGO_VERSION,
+            "entries": total,
+            "by_kind": counts,
+            "bytes": size,
+        }
+
+    def clear(self) -> None:
+        """Delete every entry (and reset the in-memory tables)."""
+        self._pending = []
+        self._mem = {}
+        self._hydrated = set()
+        conn = self._connect()
+        if conn is None:
+            return
+        with file_lock(self._lock_path):
+            conn.execute("DELETE FROM entries")
+            conn.commit()
+            conn.execute("VACUUM")
+
+    def close(self) -> None:
+        self.flush()
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+
+# Public miss sentinel: ``None`` is a legitimate stored value (a landmark
+# that anchors no value caches as None), so lookups need a distinct miss.
+BlueprintStore.MISS = BlueprintStore._SENTINEL
+
+
+_shared: BlueprintStore | None = None
+_shared_config: tuple | None = None
+
+
+def shared_store() -> BlueprintStore:
+    """The process-wide store, rebuilt when the env configuration changes."""
+    global _shared, _shared_config
+    config = (store_enabled(), str(store_dir()))
+    if _shared is None or _shared_config != config:
+        if _shared is not None:
+            _shared.close()
+        _shared = BlueprintStore()
+        _shared_config = config
+    return _shared
+
+
+# ----------------------------------------------------------------------
+# CLI (the ``repro-store`` console script)
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """``repro-store stats`` / ``repro-store clear``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Inspect or clear the persistent blueprint store.",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="store directory (default: REPRO_STORE_DIR or ~/.cache/repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("stats", help="print entry counts and file size")
+    sub.add_parser("clear", help="delete every stored entry")
+    args = parser.parse_args(argv)
+
+    store = BlueprintStore(directory=args.dir, enabled=True)
+    if args.command == "stats":
+        stats = store.stats()
+        print(f"store:    {stats['path']}")
+        print(
+            f"versions: schema={stats['schema_version']}"
+            f" algo={stats['algo_version']}"
+        )
+        print(f"entries:  {stats['entries']}  ({stats['bytes']} bytes)")
+        for bucket, count in stats["by_kind"].items():
+            print(f"  {bucket}: {count}")
+    elif args.command == "clear":
+        before = store.stats()["entries"]
+        store.clear()
+        print(f"cleared {before} entries from {store.path}")
+    store.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -197,6 +197,20 @@ def lrsyn(
     """
     config = config or LrsynConfig()
     cache = DistanceCache(domain)
+    try:
+        return _lrsyn(domain, examples, config, cache)
+    finally:
+        # Publish this run's blueprints/distances to the persistent store
+        # so the next process starts warm.
+        cache.flush_store()
+
+
+def _lrsyn(
+    domain: Domain,
+    examples: Sequence[TrainingExample],
+    config: LrsynConfig,
+    cache: DistanceCache,
+) -> ExtractionProgram:
     clusters = infer_landmarks_and_clusters(
         domain,
         examples,

@@ -13,6 +13,7 @@ from repro.datasets import finance, m2h_images
 from repro.harness.runner import (
     FieldResult,
     Method,
+    cached_corpora,
     evaluate_method,
     jobs,
     run_field_jobs,
@@ -39,6 +40,10 @@ class LrsynImageMethod(Method):
 
     def __init__(self, config: LrsynConfig | None = None):
         self.config = config or IMAGE_CONFIG
+        self.fingerprint_domain = ImageDomain()
+
+    def config_fingerprint(self) -> str:
+        return repr(self.config)
 
     def train(self, examples: Sequence[TrainingExample]) -> Extractor:
         domain = ImageDomain()
@@ -49,6 +54,9 @@ class AfrMethod(Method):
     """The simulated Azure Form Recognizer baseline."""
 
     name = "AFR"
+
+    def __init__(self) -> None:
+        self.fingerprint_domain = ImageDomain()
 
     def train(self, examples: Sequence[TrainingExample]) -> Extractor:
         return train_afr(examples)
@@ -75,8 +83,8 @@ def run_finance_experiment(
         )
     results: list[FieldResult] = []
     for doc_type in doc_types:
-        corpus = finance.generate_corpus(
-            doc_type, train_size=train_size, test_size=test_size, seed=seed
+        corpus = _image_corpus(
+            "finance", doc_type, train_size, test_size, seed
         )
         corpora = {corpus.train[0].setting: corpus}
         for field_name in finance.FINANCE_FIELDS[doc_type]:
@@ -85,6 +93,27 @@ def run_finance_experiment(
                     evaluate_method(method, corpora, doc_type, field_name)
                 )
     return results
+
+
+def _image_corpus(
+    dataset: str, provider: str, train_size: int, test_size: int, seed: int
+):
+    """Generate (or load from the persistent store) one image corpus."""
+    generate = (
+        finance.generate_corpus
+        if dataset == "finance"
+        else m2h_images.generate_corpus
+    )
+    return cached_corpora(
+        dataset,
+        lambda: generate(
+            provider, train_size=train_size, test_size=test_size, seed=seed
+        ),
+        provider=provider,
+        train_size=train_size,
+        test_size=test_size,
+        seed=seed,
+    )
 
 
 def _image_field_task(
@@ -116,14 +145,7 @@ def _worker_image_corpus(
     """Per-worker corpus memo (see ``_worker_m2h_corpora`` for the exact
     guarantee): consecutive field tasks of one provider hit the memo
     instead of regenerating the seeded corpus."""
-    generate = (
-        finance.generate_corpus
-        if dataset == "finance"
-        else m2h_images.generate_corpus
-    )
-    return generate(
-        provider, train_size=train_size, test_size=test_size, seed=seed
-    )
+    return _image_corpus(dataset, provider, train_size, test_size, seed)
 
 
 def run_m2h_images_experiment(
@@ -147,8 +169,8 @@ def run_m2h_images_experiment(
         )
     results: list[FieldResult] = []
     for provider in providers:
-        corpus = m2h_images.generate_corpus(
-            provider, train_size=train_size, test_size=test_size, seed=seed
+        corpus = _image_corpus(
+            "m2h_images", provider, train_size, test_size, seed
         )
         corpora = {corpus.train[0].setting: corpus}
         for field_name in m2h_images.fields_for(provider):

@@ -192,6 +192,18 @@ def record_synthesis_speed(
                 if name.startswith("cache.") and name.endswith(".miss")
             ),
         },
+        # The persistent BlueprintStore (L2): hits measure how much of the
+        # run was served from previous runs' work.
+        "store": {
+            "hits": sum(
+                count for name, count in counters.items()
+                if name.startswith("store.") and name.endswith(".hit")
+            ),
+            "misses": sum(
+                count for name, count in counters.items()
+                if name.startswith("store.") and name.endswith(".miss")
+            ),
+        },
         **context,
     }
     trajectory: dict = {"schema": 1, "runs": []}

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.caching import cache_enabled
 from repro.html.dom import HtmlDocument
 from repro.html.region import HtmlRegion
 
@@ -29,26 +30,31 @@ def document_blueprint(doc: HtmlDocument) -> frozenset[str]:
     Used for the initial fine clustering — two documents of the same format
     (same template) share the same tag structure even when they differ in
     repeated-section counts, while different providers' templates differ.
-    Memoized on the document: field tasks of one provider share docs, and
-    every synthesis run re-clusters them.
+    Memoized on the document (under ``REPRO_CACHE``, like the rest of the
+    memo layer): field tasks of one provider share docs, and every
+    synthesis run re-clusters them.
     """
-    if doc._document_blueprint is None:
-        doc._document_blueprint = frozenset(
-            node.simplified_xpath() for node in doc.elements()
-        )
-    return doc._document_blueprint
+    if doc._document_blueprint is not None and cache_enabled():
+        return doc._document_blueprint
+    blueprint = frozenset(
+        node.simplified_xpath() for node in doc.elements()
+    )
+    doc._document_blueprint = blueprint
+    return blueprint
 
 
 def _short_text_values(doc: HtmlDocument) -> frozenset[str]:
     """Short node texts of one document (memoized; see document_blueprint)."""
-    if doc._short_texts is None:
-        doc._short_texts = frozenset(
-            text
-            for node in doc.elements()
-            if (text := node.text_content())
-            and len(text) <= MAX_COMMON_VALUE_LENGTH
-        )
-    return doc._short_texts
+    if doc._short_texts is not None and cache_enabled():
+        return doc._short_texts
+    texts = frozenset(
+        text
+        for node in doc.elements()
+        if (text := node.text_content())
+        and len(text) <= MAX_COMMON_VALUE_LENGTH
+    )
+    doc._short_texts = texts
+    return texts
 
 
 def common_text_values(docs: Iterable[HtmlDocument]) -> frozenset[str]:

@@ -8,7 +8,10 @@ helpers (LCA, sibling spans) the region DSL needs.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Sequence
+
+from repro.core.caching import cache_enabled
 
 TEXT_TAG = "#text"
 
@@ -26,6 +29,7 @@ class DomNode:
         "_depth",
         "_xpath",
         "_element_count",
+        "_children_by_tag",
     )
 
     def __init__(
@@ -43,6 +47,7 @@ class DomNode:
         self._depth: int | None = None
         self._xpath: str | None = None
         self._element_count: int | None = None
+        self._children_by_tag: dict[str, list["DomNode"]] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -100,15 +105,38 @@ class DomNode:
             if not node.is_text:
                 yield node
 
-    def element_count(self) -> int:
-        """Number of element nodes in this subtree (cached; trees are
-        immutable after parsing, like the other ``_``-prefixed memos)."""
-        if self._element_count is None:
-            count = 0 if self.is_text else 1
+    def children_by_tag(self) -> dict[str, list["DomNode"]]:
+        """Element children indexed by tag, in child order (cached).
+
+        The per-tag lists are exactly what a ``tag``-filtered sibling scan
+        produces, so selector steps (NDSyn's ``nth-of-type`` matching, the
+        positional studies) can replace their repeated linear scans with
+        one dictionary lookup.  Valid because trees are immutable after
+        parsing, like the other ``_``-prefixed memos.
+        """
+        if self._children_by_tag is None:
+            by_tag: dict[str, list[DomNode]] = {}
             for child in self.children:
-                count += child.element_count()
-            self._element_count = count
-        return self._element_count
+                if not child.is_text:
+                    by_tag.setdefault(child.tag, []).append(child)
+            self._children_by_tag = by_tag
+        return self._children_by_tag
+
+    def element_count(self) -> int:
+        """Number of element nodes in this subtree (memoized under the
+        ``REPRO_CACHE`` knob, like the other perf-layer memos; trees are
+        immutable after parsing)."""
+        if self._element_count is not None and cache_enabled():
+            return self._element_count
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if not node.is_text:
+                count += 1
+            stack.extend(node.children)
+        self._element_count = count
+        return count
 
     # ------------------------------------------------------------------
     # Text
@@ -215,6 +243,38 @@ class HtmlDocument:
         self._document_blueprint: frozenset[str] | None = None
         self._short_texts: frozenset[str] | None = None
         self._leaf_texts: frozenset[str] | None = None
+        self._fingerprint: str | None = None
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the document (persistent-store key).
+
+        Hashes the original source when available; documents built
+        programmatically (tests, tools) fall back to a canonical pre-order
+        serialization of the tree.  Identical content fingerprints
+        identically across runs — the property the cross-run blueprint
+        store relies on.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            if self.source:
+                hasher.update(b"src\x00")
+                hasher.update(self.source.encode("utf-8", "surrogatepass"))
+            else:
+                hasher.update(b"tree\x00")
+                for node in self.root.iter():
+                    if node.is_text:
+                        hasher.update(b"t\x00" + node.text.encode("utf-8"))
+                    else:
+                        hasher.update(b"e\x00" + node.tag.encode("utf-8"))
+                        for name in sorted(node.attrs):
+                            hasher.update(
+                                f"\x00{name}={node.attrs[name]}".encode(
+                                    "utf-8"
+                                )
+                            )
+                    hasher.update(f"\x00{node.depth}".encode("ascii"))
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     def elements(self) -> list[DomNode]:
         """All element nodes in document order (the document's locations)."""
@@ -249,23 +309,42 @@ class HtmlDocument:
         "Minimal" means no child element also contains the text, which makes
         the located node as tight as possible around the landmark.
 
-        Memoized per query string: landmark scoring probes the same n-grams
-        against the same document from both the global and the per-cluster
-        candidate passes, and the tree is immutable after parsing.
+        The search descends top-down, pruning every subtree whose root does
+        not contain the text: a node's normalized text is always a
+        substring of its parent's (text pieces stay contiguous under the
+        whitespace normalization), so a non-containing node can contain no
+        match below it.  This visits O(matches × depth) nodes instead of
+        scanning every element, and yields exactly the pre-order matches
+        the full scan produced.
+
+        Memoized per query string (under the ``REPRO_CACHE`` knob, like
+        every other memo of the performance layer): landmark scoring
+        probes the same n-grams against the same document from both the
+        global and the per-cluster candidate passes, and the tree is
+        immutable after parsing.
         """
-        cached = self._text_matches.get(text)
-        if cached is not None:
-            return list(cached)
-        matches = []
-        for node in self.elements():
-            if text not in node.text_content():
-                continue
-            if any(
-                text in child.text_content()
-                for child in node.children
-                if not child.is_text
-            ):
-                continue
-            matches.append(node)
-        self._text_matches[text] = matches
+        memoize = cache_enabled()
+        if memoize:
+            cached = self._text_matches.get(text)
+            if cached is not None:
+                return list(cached)
+        matches: list[DomNode] = []
+        root = self.root
+        if not root.is_text and text in root.text_content():
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                containing = [
+                    child
+                    for child in node.children
+                    if not child.is_text and text in child.text_content()
+                ]
+                if not containing:
+                    matches.append(node)
+                else:
+                    # Reversed so the pre-order (document-order) leftmost
+                    # subtree is processed first off the stack.
+                    stack.extend(reversed(containing))
+        if memoize:
+            self._text_matches[text] = matches
         return list(matches)

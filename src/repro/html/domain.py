@@ -20,6 +20,16 @@ from repro.html.region import HtmlRegion, enclosing_region
 class HtmlDomain(Domain):
     """Domain adapter for HTML documents."""
 
+    substrate = "html"
+
+    # -- content fingerprints (persistent-store keys) ------------------
+    def document_fingerprint(self, doc: HtmlDocument) -> str:
+        return doc.fingerprint()
+
+    def location_fingerprint(self, doc: HtmlDocument, loc: DomNode) -> str:
+        # Indexed XPaths are unique per node of one tree.
+        return loc.xpath()
+
     # -- locations -----------------------------------------------------
     def locations(self, doc: HtmlDocument) -> Sequence[DomNode]:
         return doc.elements()

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core import parallel
+from repro.core.caching import cache_enabled
 from repro.core.document import ScoredLandmark, TrainingExample
 from repro.html.dom import (
     DomNode,
@@ -49,6 +51,13 @@ WEIGHT_FOLLOWS = 0.5
 # shared-n-gram intersection already uses every document.
 SCORE_SAMPLE = 8
 
+# Candidate scoring fans out over the shared-memory worker pool
+# (REPRO_JOBS) only when the per-call work amortizes the pool startup:
+# below this many candidate grams, scoring stays serial.
+MIN_PARALLEL_GRAMS = 96
+# Grams per shard when scoring in parallel.
+GRAM_TILE = 32
+
 
 def ngrams_of_text(text: str, max_n: int = MAX_NGRAM) -> set[str]:
     """All word n-grams (1 ≤ n ≤ ``max_n``) of a text."""
@@ -78,18 +87,20 @@ def _is_stopword_gram(gram: str) -> bool:
 def _leaf_texts(doc: HtmlDocument) -> frozenset[str]:
     """Texts of leaf elements (no element children), bounded in length.
 
-    Memoized on the document: the global and per-cluster candidate passes
-    intersect leaf texts over heavily overlapping document sets.
+    Memoized on the document (under ``REPRO_CACHE``): the global and
+    per-cluster candidate passes intersect leaf texts over heavily
+    overlapping document sets.
     """
-    if doc._leaf_texts is None:
-        texts: set[str] = set()
-        for node in doc.elements():
-            if any(not child.is_text for child in node.children):
-                continue
-            text = node.text_content()
-            if text and len(text) <= 60:
-                texts.add(text)
-        doc._leaf_texts = frozenset(texts)
+    if doc._leaf_texts is not None and cache_enabled():
+        return doc._leaf_texts
+    texts: set[str] = set()
+    for node in doc.elements():
+        if any(not child.is_text for child in node.children):
+            continue
+        text = node.text_content()
+        if text and len(text) <= 60:
+            texts.add(text)
+    doc._leaf_texts = frozenset(texts)
     return doc._leaf_texts
 
 
@@ -152,6 +163,55 @@ def _candidate_cost(
     return sum(costs) / len(costs)
 
 
+def _gram_score(
+    gram: str, sample: Sequence[TrainingExample]
+) -> float | None:
+    """Average candidate cost of ``gram`` over the sample (None = unusable).
+
+    Factored out of :func:`landmark_candidates` so the serial loop and the
+    parallel shards run literally the same code on the same inputs —
+    identical scores by construction.
+    """
+    total = 0.0
+    for example in sample:
+        doc: HtmlDocument = example.doc
+        occurrences = doc.find_by_text(gram)
+        if not occurrences:
+            return None
+        cost = _candidate_cost(doc, occurrences, example.annotation.locations)
+        if cost == float("inf"):
+            return None
+        total += cost
+    return total / len(sample)
+
+
+def _score_shard(shard: tuple[int, int]) -> list[float | None]:
+    """Worker: scores for one block of the (fork-shared) gram list."""
+    grams, sample = parallel.shared_payload()
+    start, stop = shard
+    return [_gram_score(gram, sample) for gram in grams[start:stop]]
+
+
+def score_grams(
+    grams: Sequence[str], sample: Sequence[TrainingExample]
+) -> list[float | None]:
+    """Score every gram, fanning over the worker pool when it pays off.
+
+    The documents are shared with forked workers copy-on-write (see
+    :mod:`repro.core.parallel`) — nothing is pickled but index ranges and
+    the resulting floats, and shard results merge in submission order, so
+    the output is the exact serial list.
+    """
+    n_jobs = parallel.kernel_jobs()
+    if n_jobs <= 1 or len(grams) < MIN_PARALLEL_GRAMS:
+        return [_gram_score(gram, sample) for gram in grams]
+    shards = parallel.tile_ranges(len(grams), GRAM_TILE)
+    results = parallel.run_sharded(
+        (list(grams), list(sample)), _score_shard, shards, n_jobs
+    )
+    return [score for shard_scores in results for score in shard_scores]
+
+
 def landmark_candidates(
     examples: Sequence[TrainingExample],
     max_candidates: int = 10,
@@ -173,33 +233,18 @@ def landmark_candidates(
         for example in sample
         for value in example.annotation.values
     ]
-    grams = {
+    candidates = sorted(
         gram
         for gram in grams
         if not any(gram in value for value in sample_values)
-    }
+    )
 
-    scored: list[ScoredLandmark] = []
-    for gram in grams:
-        total = 0.0
-        usable = True
-        for example in sample:
-            doc: HtmlDocument = example.doc
-            occurrences = doc.find_by_text(gram)
-            if not occurrences:
-                usable = False
-                break
-            cost = _candidate_cost(
-                doc, occurrences, example.annotation.locations
-            )
-            if cost == float("inf"):
-                usable = False
-                break
-            total += cost
-        if not usable:
-            continue
-        average_cost = total / len(sample)
-        scored.append(ScoredLandmark(value=gram, score=-average_cost))
+    scores = score_grams(candidates, sample)
+    scored = [
+        ScoredLandmark(value=gram, score=-average_cost)
+        for gram, average_cost in zip(candidates, scores)
+        if average_cost is not None
+    ]
 
     scored.sort(key=lambda candidate: (-candidate.score, candidate.value))
     return scored[:max_candidates]

@@ -9,6 +9,7 @@ distinct locations).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Sequence
 
 # Directions of the region DSL (Figure 6) and of BoxSummary neighbours.
@@ -92,9 +93,27 @@ class ImageDocument:
     def __init__(self, boxes: Sequence[TextBox]):
         self.boxes = reading_order(boxes)
         self._order = {id(box): i for i, box in enumerate(self.boxes)}
+        self._fingerprint: str | None = None
 
     def order_of(self, box: TextBox) -> int:
         return self._order.get(id(box), 0)
+
+    def fingerprint(self) -> str:
+        """Stable content hash over the boxes (persistent-store key).
+
+        Reading order is deterministic for given box content, so hashing
+        the ordered ``(text, geometry)`` tuples fingerprints the page
+        content itself — identical scans hash identically across runs.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            for box in self.boxes:
+                hasher.update(
+                    f"{box.text}\x00{box.x:.4f},{box.y:.4f},"
+                    f"{box.w:.4f},{box.h:.4f}\x00".encode("utf-8")
+                )
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     def find_by_text(self, text: str) -> list[TextBox]:
         return [box for box in self.boxes if text in box.text]

@@ -34,9 +34,23 @@ class ImageDomain(Domain):
     # d(a, b) != d(b, a) in general; the cache must key on orientation.
     symmetric_distance = False
 
+    substrate = "images"
+
     def __init__(self) -> None:
         # Patterns for Relative motions, refreshed per synthesis call.
         self._patterns: tuple[str, ...] = ()
+
+    # -- content fingerprints (persistent-store keys) --------------------
+    def document_fingerprint(self, doc: ImageDocument) -> str:
+        return doc.fingerprint()
+
+    def location_fingerprint(self, doc: ImageDocument, loc: TextBox) -> str:
+        # Boxes are identity-hashed and may collide on content (two equal
+        # OCR fragments), so the reading-order index disambiguates.
+        return (
+            f"{doc.order_of(loc)}:{loc.text}"
+            f"@{loc.x:.2f},{loc.y:.2f},{loc.w:.2f},{loc.h:.2f}"
+        )
 
     # -- locations -------------------------------------------------------
     def locations(self, doc: ImageDocument) -> Sequence[TextBox]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.core import parallel
 from repro.core.document import ScoredLandmark, TrainingExample
 from repro.images.blueprint import box_ngrams
 from repro.images.boxes import ImageDocument, TextBox
@@ -20,6 +21,11 @@ WEIGHT_AREA = 0.002
 # Labels precede their values in reading order (see the HTML scorer).
 WEIGHT_FOLLOWS = 20.0
 SCORE_SAMPLE = 8
+
+# Parallel-scoring gate, as in the HTML scorer: below this many candidate
+# grams the fork-pool startup costs more than it saves.
+MIN_PARALLEL_GRAMS = 96
+GRAM_TILE = 32
 
 STOP_WORDS = frozenset(
     """a an and are as at be by for from has have if in into is it its of on
@@ -63,6 +69,61 @@ def _enclosing_area(a: TextBox, b: TextBox) -> float:
     return width * height
 
 
+def _gram_score(
+    gram: str, sample: Sequence[TrainingExample]
+) -> float | None:
+    """Average candidate cost of ``gram`` over the sample (None = unusable).
+
+    Shared verbatim by the serial loop and the parallel shards so both
+    paths produce identical scores (see the HTML scorer).
+    """
+    total = 0.0
+    for example in sample:
+        doc: ImageDocument = example.doc
+        occurrences = doc.find_by_text(gram)
+        if not occurrences:
+            return None
+        costs = []
+        for group in example.annotation.groups:
+            value_box = group.locations[0]
+            best = min(
+                WEIGHT_DISTANCE * _euclidean(occ, value_box)
+                + WEIGHT_AREA * _enclosing_area(occ, value_box)
+                + (
+                    WEIGHT_FOLLOWS
+                    if doc.order_of(occ) > doc.order_of(value_box)
+                    else 0.0
+                )
+                for occ in occurrences
+            )
+            costs.append(best)
+        if not costs:
+            return None
+        total += sum(costs) / len(costs)
+    return total / len(sample)
+
+
+def _score_shard(shard: tuple[int, int]) -> list[float | None]:
+    """Worker: scores for one block of the (fork-shared) gram list."""
+    grams, sample = parallel.shared_payload()
+    start, stop = shard
+    return [_gram_score(gram, sample) for gram in grams[start:stop]]
+
+
+def score_grams(
+    grams: Sequence[str], sample: Sequence[TrainingExample]
+) -> list[float | None]:
+    """Score every gram, fanning over the worker pool when it pays off."""
+    n_jobs = parallel.kernel_jobs()
+    if n_jobs <= 1 or len(grams) < MIN_PARALLEL_GRAMS:
+        return [_gram_score(gram, sample) for gram in grams]
+    shards = parallel.tile_ranges(len(grams), GRAM_TILE)
+    results = parallel.run_sharded(
+        (list(grams), list(sample)), _score_shard, shards, n_jobs
+    )
+    return [score for shard_scores in results for score in shard_scores]
+
+
 def landmark_candidates(
     examples: Sequence[TrainingExample],
     max_candidates: int = 10,
@@ -77,43 +138,18 @@ def landmark_candidates(
     sample_values = [
         value for example in sample for value in example.annotation.values
     ]
-    grams = {
+    candidates = sorted(
         gram
         for gram in grams
         if not any(gram in value for value in sample_values)
-    }
+    )
 
-    scored: list[ScoredLandmark] = []
-    for gram in grams:
-        total = 0.0
-        usable = True
-        for example in sample:
-            doc: ImageDocument = example.doc
-            occurrences = doc.find_by_text(gram)
-            if not occurrences:
-                usable = False
-                break
-            costs = []
-            for group in example.annotation.groups:
-                value_box = group.locations[0]
-                best = min(
-                    WEIGHT_DISTANCE * _euclidean(occ, value_box)
-                    + WEIGHT_AREA * _enclosing_area(occ, value_box)
-                    + (
-                        WEIGHT_FOLLOWS
-                        if doc.order_of(occ) > doc.order_of(value_box)
-                        else 0.0
-                    )
-                    for occ in occurrences
-                )
-                costs.append(best)
-            if not costs:
-                usable = False
-                break
-            total += sum(costs) / len(costs)
-        if not usable:
-            continue
-        scored.append(ScoredLandmark(value=gram, score=-total / len(sample)))
+    scores = score_grams(candidates, sample)
+    scored = [
+        ScoredLandmark(value=gram, score=-average_cost)
+        for gram, average_cost in zip(candidates, scores)
+        if average_cost is not None
+    ]
 
     scored.sort(key=lambda candidate: (-candidate.score, candidate.value))
     return scored[:max_candidates]

@@ -1,0 +1,22 @@
+"""Suite-wide isolation for the persistent blueprint store.
+
+The store is on by default (``REPRO_STORE=1``), which is right for
+benchmarks and CI warm runs but wrong for a test suite: entries written by
+one developer's working tree must never leak into another test run's
+expectations.  Point the store at a per-session temporary directory unless
+the caller explicitly routed it elsewhere (the CI warm-store job does, on
+purpose).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_blueprint_store(tmp_path_factory):
+    if "REPRO_STORE_DIR" not in os.environ:
+        os.environ["REPRO_STORE_DIR"] = str(
+            tmp_path_factory.mktemp("blueprint-store")
+        )
+    yield

@@ -1,0 +1,92 @@
+"""Persistent program/corpus store: warm runs must be score-identical."""
+
+import math
+
+from repro.core.caching import StageTimer, use_timer
+from repro.core.store import shared_store
+from repro.harness.runner import (
+    LrsynHtmlMethod,
+    NdsynMethod,
+    flush_corpus_store,
+    run_m2h_experiment,
+)
+
+
+def result_keys(results):
+    return [
+        (r.method, r.provider, r.field, r.setting,
+         r.f1, r.precision, r.recall)
+        for r in results
+    ]
+
+
+def assert_identical(first, second):
+    assert len(first) == len(second)
+    for left, right in zip(result_keys(first), result_keys(second)):
+        assert left[:4] == right[:4]
+        for a, b in zip(left[4:], right[4:]):
+            assert (math.isnan(a) and math.isnan(b)) or a == b
+
+
+class TestWarmRunsIdentical:
+    def test_program_and_corpus_store_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "1")
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        methods = [NdsynMethod(), LrsynHtmlMethod()]
+
+        cold_timer = StageTimer()
+        with use_timer(cold_timer):
+            cold = run_m2h_experiment(
+                methods, providers=["getthere"], train_size=4, test_size=6
+            )
+        flush_corpus_store()
+        assert cold_timer.counters.get("store.program.miss", 0) > 0
+
+        # Second run: same process, but every lrsyn/NDSyn training request
+        # must be served from the persistent program store, and the corpus
+        # from the corpus store — with byte-identical scores.
+        warm_timer = StageTimer()
+        with use_timer(warm_timer):
+            warm = run_m2h_experiment(
+                methods, providers=["getthere"], train_size=4, test_size=6
+            )
+        assert_identical(cold, warm)
+        assert warm_timer.counters.get("store.program.hit", 0) > 0
+        assert warm_timer.counters.get("store.program.miss", 0) == 0
+        assert warm_timer.counters.get("store.corpus.hit", 0) > 0
+
+    def test_cross_store_instance_round_trip(self, tmp_path, monkeypatch):
+        """A fresh shared-store instance (new dir ⇒ new config) stays
+        correct: stored programs extract like freshly trained ones."""
+        monkeypatch.setenv("REPRO_STORE", "1")
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "s2"))
+        methods = [LrsynHtmlMethod()]
+        first = run_m2h_experiment(
+            methods, providers=["delta"], train_size=4, test_size=5
+        )
+        shared_store().flush()
+        second = run_m2h_experiment(
+            methods, providers=["delta"], train_size=4, test_size=5
+        )
+        assert_identical(first, second)
+
+    def test_store_disabled_is_equivalent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", "1")
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "s3"))
+        methods = [NdsynMethod(), LrsynHtmlMethod()]
+        stored = run_m2h_experiment(
+            methods, providers=["getthere"], train_size=4, test_size=6
+        )
+        flush_corpus_store()
+        warm = run_m2h_experiment(
+            methods, providers=["getthere"], train_size=4, test_size=6
+        )
+        monkeypatch.setenv("REPRO_STORE", "0")
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        uncached = run_m2h_experiment(
+            methods, providers=["getthere"], train_size=4, test_size=6
+        )
+        assert_identical(stored, warm)
+        assert_identical(stored, uncached)
