@@ -10,9 +10,9 @@ Every experiment run is timed under an isolated
 ``benchmarks/results/BENCH_synthesis_speed.json`` — a trajectory of
 per-stage wall-clock (cluster, landmark, region-synth, value-synth, score)
 plus cache hit/miss counters, so future optimization PRs can prove their
-speedups against the recorded history.  ``REPRO_SCALE``, ``REPRO_JOBS`` and
-``REPRO_CACHE`` (see :mod:`repro.harness.runner`) are recorded with each
-entry.
+speedups against the recorded history.  ``REPRO_SCALE``, ``REPRO_JOBS``,
+``REPRO_SHARD`` and ``REPRO_CACHE`` (see :mod:`repro.harness.runner`) are
+recorded with each entry.
 """
 
 from __future__ import annotations
@@ -23,6 +23,7 @@ import time
 
 from repro.core.caching import StageTimer, cache_enabled, use_timer
 from repro.core.store import store_enabled
+from repro.harness.sharding import env_shard
 from repro.harness.images import (
     AfrMethod,
     LrsynImageMethod,
@@ -75,6 +76,11 @@ def timed_experiment(name: str, experiment, *args, **kwargs):
         snapshot,
         scale=scale(),
         jobs=jobs(),
+        # The experiment drivers honour REPRO_SHARD, so a sharded bench
+        # run records partial-coverage timings; "0/1" marks a full run.
+        # (The table benches assert full-table shapes — run those
+        # unsharded; sharded CI coverage goes through `repro-shard`.)
+        shard=str(env_shard()),
         cache_enabled=cache_enabled(),
         store_enabled=store_enabled(),
     )

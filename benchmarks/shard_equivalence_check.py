@@ -1,0 +1,154 @@
+"""CI shard-equivalence gate: sharded merges must equal the unsharded run.
+
+Runs the M2H experiment (the workload behind ``bench_table1_m2h_overall``)
+once unsharded, then for every requested shard count N runs each shard
+``i/N`` and merges the partials, asserting that
+
+* the canonical score dump (full-``repr`` float precision) is
+  byte-identical to the unsharded baseline, and
+* the rendered paper-style tables are byte-identical too.
+
+Every arm — the baseline and each individual shard — executes in its own
+subprocess with a **distinct ``PYTHONHASHSEED``**, the way real shard jobs
+land on different machines.  A merge that only holds when all arms share
+one hash seed (set/dict iteration order leaking into scores) fails here
+instead of flaking in the multi-job CI topology.  The store/cache
+configuration is inherited from the environment: the equivalence
+guarantee is unconditional, so a warm store must not change any byte of
+the output.
+
+Each shard count's summed wall-clock and verdict are appended to the
+synthesis-speed trajectory so CI artifacts record the evidence.
+
+Usage::
+
+    python benchmarks/shard_equivalence_check.py [--scale 0.15]
+        [--shards 2 3] [--experiment m2h] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+TRAJECTORY = REPO / "benchmarks" / "results" / "BENCH_synthesis_speed.json"
+
+
+def run_shard_subprocess(
+    experiment: str,
+    shard: str,
+    seed: int,
+    scale: str,
+    out: pathlib.Path,
+    hash_seed: int,
+) -> None:
+    env = {
+        **os.environ,
+        "REPRO_SCALE": scale,
+        "PYTHONHASHSEED": str(hash_seed),
+    }
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.harness.sharding", "run",
+            "--experiment", experiment, "--shard", shard,
+            "--seed", str(seed), "--out", str(out),
+        ],
+        env=env,
+        check=True,
+        cwd=REPO,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="0.15")
+    parser.add_argument("--shards", type=int, nargs="+", default=[2, 3])
+    parser.add_argument("--experiment", default="m2h")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.harness import sharding
+    from repro.harness.reporting import record_synthesis_speed
+
+    print(
+        f"shard-equivalence: {args.experiment} at scale {args.scale},"
+        f" shard counts {args.shards}, one process + hash seed per arm"
+    )
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="shard-eq-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        baseline_path = tmp_path / "baseline.pkl"
+        run_shard_subprocess(
+            args.experiment, "0/1", args.seed, args.scale,
+            baseline_path, hash_seed=1,
+        )
+        baseline = sharding.load_partial(baseline_path)
+        base_scores = sharding.canonical_scores(
+            sharding.flat_results(baseline)
+        )
+        base_tables = sharding.render_tables(baseline)
+        print(
+            f"  baseline (unsharded): {len(baseline['graph'])} tasks,"
+            f" {baseline['wall_seconds']:.2f}s"
+        )
+
+        hash_seed = 2
+        for count in args.shards:
+            partials = []
+            wall = 0.0
+            for index in range(count):
+                path = tmp_path / f"part-{count}-{index}.pkl"
+                run_shard_subprocess(
+                    args.experiment, f"{index}/{count}", args.seed,
+                    args.scale, path, hash_seed=hash_seed,
+                )
+                hash_seed += 1
+                partial = sharding.load_partial(path)
+                wall += partial["wall_seconds"]
+                partials.append(partial)
+            merged = sharding.merge_partials(partials)
+            scores_ok = (
+                sharding.canonical_scores(sharding.flat_results(merged))
+                == base_scores
+            )
+            tables_ok = sharding.render_tables(merged) == base_tables
+            identical = scores_ok and tables_ok
+            failures += 0 if identical else 1
+            print(
+                f"  N={count}: {wall:.2f}s across shards,"
+                f" merged {'IDENTICAL' if identical else 'MISMATCH'}"
+                f" (scores={'ok' if scores_ok else 'DIFF'},"
+                f" tables={'ok' if tables_ok else 'DIFF'})"
+            )
+            record_synthesis_speed(
+                TRAJECTORY,
+                f"shard_equivalence_{args.experiment}",
+                wall,
+                merged["timer"],
+                scale=float(args.scale),
+                shards=count,
+                identical=identical,
+            )
+
+    if failures:
+        print(f"FAIL: {failures} shard count(s) diverged from the baseline")
+        return 1
+    print(
+        "PASS: every sharded merge is byte-identical to the unsharded run"
+        " (across distinct hash seeds)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,7 +79,8 @@ def store_is_warm() -> bool:
 
     directory = os.environ.get("REPRO_STORE_DIR")
     store = BlueprintStore(directory=directory, enabled=True)
-    warm = store.stats()["by_kind"].get("corpus/corpus", 0) > 0
+    corpus = store.stats()["by_kind"].get("corpus/corpus")
+    warm = corpus is not None and corpus["entries"] > 0
     store.close()
     return warm
 

@@ -31,8 +31,17 @@ database.  Values round-trip through :mod:`pickle`, which preserves the
 exact ``frozenset`` / tuple blueprint values, so runs served from the store
 stay byte-identical to cold runs.
 
+The store is *bounded*: ``REPRO_STORE_MAX_MB`` sets a payload-size budget
+enforced by LRU eviction — every flush (and the explicit ``repro-store
+evict``) deletes least-recently-used entries until the budget holds, but
+never an entry the current process has read or written, so a running
+experiment's working set always survives its own eviction pass.  Eviction
+only ever discards *cache* state; evicted entries are recomputed on the
+next miss, with byte-identical results.
+
 The ``repro-store`` console script (see ``pyproject.toml``) exposes
-``stats`` and ``clear`` subcommands for cache-directory hygiene.
+``stats`` (per-kind entry counts and byte sizes), ``evict`` and ``clear``
+subcommands for cache-directory hygiene.
 """
 
 from __future__ import annotations
@@ -51,11 +60,14 @@ from typing import Any
 # algorithm changes observable output: the version is folded into every
 # entry key, so old entries become unreachable instead of silently serving
 # stale values.  (Covered by tests/core/test_store.py.)
-BLUEPRINT_ALGO_VERSION = 1
+# 2: summary_distance greedy matching now iterates in sorted order (was
+#    hash-seed-dependent frozenset order for contended grams).
+BLUEPRINT_ALGO_VERSION = 2
 
 # Bump when the sqlite layout itself changes; a mismatch wipes the database
-# on open rather than attempting migration.
-SCHEMA_VERSION = 1
+# on open rather than attempting migration.  (2: last_used + size columns
+# for LRU eviction and per-kind byte accounting.)
+SCHEMA_VERSION = 2
 
 _DB_NAME = "blueprints.sqlite"
 _LOCK_NAME = "store.lock"
@@ -84,6 +96,28 @@ def store_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro"
+
+
+def store_budget_bytes() -> int | None:
+    """Size budget from ``REPRO_STORE_MAX_MB``, or ``None`` when unlimited.
+
+    The corpus kind alone adds MBs per configuration, so long-lived cache
+    directories (developer machines, CI ``actions/cache``) need a ceiling.
+    Unset, empty or non-positive values mean "no budget"; anything else is
+    megabytes (floats allowed: ``REPRO_STORE_MAX_MB=0.5``).
+    """
+    raw = os.environ.get("REPRO_STORE_MAX_MB", "").strip()
+    if not raw:
+        return None
+    try:
+        megabytes = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_STORE_MAX_MB must be a number (megabytes), got {raw!r}"
+        ) from None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
 
 
 def canonical_digest(value: Any) -> str:
@@ -178,6 +212,12 @@ class BlueprintStore:
         self._hydrated: set[str] = set()
         # (key, kind, substrate, payload, already_pickled)
         self._pending: list[tuple[str, str, str, Any, bool]] = []
+        # Keys read or written by this process: LRU eviction never removes
+        # them (the current run's working set is always protected).
+        self._touched: set[str] = set()
+        # Touched-but-not-yet-recorded keys whose last_used row needs a
+        # refresh at the next flush.
+        self._touch_pending: set[str] = set()
         self.hits = 0
         self.misses = 0
         if self.enabled:
@@ -194,6 +234,8 @@ class BlueprintStore:
             self._pending = []
             self._mem = {}
             self._hydrated = set()
+            self._touched = set()
+            self._touch_pending = set()
             self._pid = os.getpid()
         if self._conn is None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -204,35 +246,37 @@ class BlueprintStore:
             self._conn = conn
         return self._conn
 
+    _ENTRIES_DDL = (
+        "CREATE TABLE IF NOT EXISTS entries ("
+        " key TEXT PRIMARY KEY,"
+        " kind TEXT NOT NULL,"
+        " substrate TEXT NOT NULL,"
+        " value BLOB NOT NULL,"
+        " created REAL NOT NULL,"
+        " last_used REAL NOT NULL,"
+        " size INTEGER NOT NULL)"
+    )
+
     def _ensure_schema(self, conn: sqlite3.Connection) -> None:
         conn.execute(
             "CREATE TABLE IF NOT EXISTS meta"
             " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
         )
-        conn.execute(
-            "CREATE TABLE IF NOT EXISTS entries ("
-            " key TEXT PRIMARY KEY,"
-            " kind TEXT NOT NULL,"
-            " substrate TEXT NOT NULL,"
-            " value BLOB NOT NULL,"
-            " created REAL NOT NULL)"
-        )
         row = conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'"
         ).fetchone()
-        if row is None:
+        if row is None or row[0] != str(SCHEMA_VERSION):
+            # Old layouts differ in columns, so a row-wise DELETE is not
+            # enough — drop and recreate under the current DDL.
+            conn.execute("DROP TABLE IF EXISTS entries")
+            conn.execute(self._ENTRIES_DDL)
             conn.execute(
                 "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
                 (str(SCHEMA_VERSION),),
             )
             conn.commit()
-        elif row[0] != str(SCHEMA_VERSION):
-            conn.execute("DELETE FROM entries")
-            conn.execute(
-                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
-                (str(SCHEMA_VERSION),),
-            )
-            conn.commit()
+        else:
+            conn.execute(self._ENTRIES_DDL)
 
     def _hydrate(self, kind: str) -> dict[str, Any]:
         table = self._mem.get(kind)
@@ -271,7 +315,13 @@ class BlueprintStore:
             self.misses += 1
             return self.MISS
         self.hits += 1
+        self._touch(key)
         return value
+
+    def _touch(self, key: str) -> None:
+        """Mark ``key`` as part of this run's working set (LRU-protected)."""
+        self._touched.add(key)
+        self._touch_pending.add(key)
 
     def _get_keyed(self, kind: str, key: str) -> Any:
         """Point lookup for large-blob kinds (no kind-wide hydration)."""
@@ -298,6 +348,7 @@ class BlueprintStore:
             self.misses += 1
             return self.MISS
         self.hits += 1
+        self._touch(key)
         return value
 
     def put(
@@ -323,20 +374,29 @@ class BlueprintStore:
             # existence via get(), and INSERT OR REPLACE is idempotent.
             table = self._mem.setdefault(kind, {})
             if key in table and not overwrite:
+                self._touch(key)
                 return
         else:
             table = self._hydrate(kind)
             if key in table and not overwrite:
+                self._touch(key)
                 return
         table[key] = value
+        self._touched.add(key)
         payload = pickle.dumps(value) if eager else value
         self._pending.append((key, kind, substrate, payload, eager))
         if len(self._pending) >= FLUSH_THRESHOLD:
             self.flush()
 
     def flush(self) -> None:
-        """Write the batched puts inside one locked transaction."""
-        if not self.enabled or not self._pending:
+        """Write batched puts, refresh LRU stamps, enforce the budget.
+
+        All inside one locked transaction, so concurrent CI jobs sharing a
+        cache directory see consistent state.  Eviction (when
+        ``REPRO_STORE_MAX_MB`` is set) runs last: the just-written batch
+        and every key this run touched are protected.
+        """
+        if not self.enabled or (not self._pending and not self._touch_pending):
             return
         if self._pid != os.getpid():
             # Forked child inherited the parent's batch: drop it (the
@@ -344,40 +404,172 @@ class BlueprintStore:
             self._connect()
             return
         pending, self._pending = self._pending, []
+        touched, self._touch_pending = self._touch_pending, set()
         conn = self._connect()
         if conn is None:
             return
         now = time.time()
-        rows = [
-            (
-                key,
-                kind,
-                substrate,
-                payload if pickled else pickle.dumps(payload),
-                now,
-            )
-            for key, kind, substrate, payload, pickled in pending
-        ]
+        rows = []
+        for key, kind, substrate, payload, pickled in pending:
+            blob = payload if pickled else pickle.dumps(payload)
+            rows.append((key, kind, substrate, blob, now, now, len(blob)))
+        # Stamps for entries read (not rewritten) this run; rows written
+        # above carry a fresh last_used already.
+        stamps = [(now, key) for key in touched.difference(r[0] for r in rows)]
         with file_lock(self._lock_path):
+            if rows:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO entries VALUES"
+                    " (?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+            if stamps:
+                conn.executemany(
+                    "UPDATE entries SET last_used = ? WHERE key = ?", stamps
+                )
+            conn.commit()
+            budget = store_budget_bytes()
+            if rows and budget is not None:
+                try:
+                    self._evict_locked(conn, budget)
+                except sqlite3.OperationalError:
+                    # VACUUM needs exclusivity; under reader contention
+                    # from a concurrent job, skip — the budget is cache
+                    # hygiene, and the next flush/evict retries.
+                    pass
+
+    def evict(self, max_bytes: int | None = None) -> tuple[int, int]:
+        """Evict least-recently-used entries down to the size budget.
+
+        ``max_bytes`` defaults to the ``REPRO_STORE_MAX_MB`` budget; with
+        neither set this is a no-op.  Entries touched (read or written) by
+        this process are never evicted — the current run's working set
+        stays warm no matter how small the budget.  Returns
+        ``(evicted_entries, evicted_bytes)``.
+        """
+        budget = store_budget_bytes() if max_bytes is None else max_bytes
+        if not self.enabled or budget is None:
+            return (0, 0)
+        self.flush()
+        conn = self._connect()
+        if conn is None:
+            return (0, 0)
+        with file_lock(self._lock_path):
+            return self._evict_locked(conn, budget)
+
+    def _evict_locked(
+        self, conn: sqlite3.Connection, budget: int
+    ) -> tuple[int, int]:
+        """LRU deletion under the already-held file lock, then VACUUM.
+
+        Candidates are ordered oldest-``last_used`` first (``created`` and
+        key as deterministic tie-breaks); this run's touched keys are
+        always skipped.  The first pass trims by payload accounting; the
+        file is then VACUUMed, the WAL folded back in, and — because
+        sqlite page/overflow overhead makes the file larger than the
+        payload — further passes keep trimming the LRU tail until the
+        *on-disk file* fits the budget or only protected entries remain.
+
+        Eviction triggers at ``budget`` but trims down to ~90% of it:
+        the hysteresis means a store hovering at its budget pays one
+        VACUUM (a whole-file rewrite) per ~10%-of-budget of fresh writes,
+        not one per flush.
+        """
+        evicted = 0
+        evicted_bytes = 0
+        target = budget - budget // 10
+        payload = conn.execute(
+            "SELECT COALESCE(SUM(size), 0) FROM entries"
+        ).fetchone()[0]
+        excess = payload - target if payload > budget else 0
+        while excess > 0:
+            rows = conn.execute(
+                "SELECT key, kind, size FROM entries"
+                " ORDER BY last_used ASC, created ASC, key ASC"
+            ).fetchall()
+            doomed: list[tuple[str, str, int]] = []
+            remaining = excess
+            for key, kind, size in rows:
+                if remaining <= 0:
+                    break
+                if key in self._touched:
+                    continue
+                doomed.append((key, kind, size))
+                remaining -= size
+            if not doomed:
+                break
             conn.executemany(
-                "INSERT OR REPLACE INTO entries VALUES (?, ?, ?, ?, ?)", rows
+                "DELETE FROM entries WHERE key = ?",
+                [(key,) for key, _, _ in doomed],
             )
             conn.commit()
+            evicted += len(doomed)
+            evicted_bytes += sum(size for _, _, size in doomed)
+            for key, kind, _ in doomed:
+                # Keep the in-memory tables consistent so a later put()
+                # can re-persist an evicted key instead of skipping it as
+                # already present.
+                self._mem.get(kind, {}).pop(key, None)
+            if not self._vacuum(conn):
+                # Deletes are durable; space reclaim retries on the next
+                # evict/flush (the freelist pass below picks it up).
+                return (evicted, evicted_bytes)
+            file_size = self.path.stat().st_size
+            excess = file_size - target if file_size > budget else 0
+        if (
+            evicted == 0
+            and self.path.exists()
+            and self.path.stat().st_size > budget
+            and conn.execute("PRAGMA freelist_count").fetchone()[0] > 0
+        ):
+            # The payload fits the budget but the file does not, and free
+            # pages exist (e.g. an earlier VACUUM was skipped under
+            # contention): reclaim them.  Gating on the freelist keeps
+            # this from re-VACUUMing every flush when the file is over
+            # budget purely because protected entries exceed it.
+            self._vacuum(conn)
+        return (evicted, evicted_bytes)
+
+    def _vacuum(self, conn: sqlite3.Connection) -> bool:
+        """VACUUM + fold the WAL back in; False under reader contention.
+
+        VACUUM needs exclusive access; concurrent jobs' readers do not
+        take the file lock, so contention is tolerated (the budget is
+        cache hygiene, not correctness) rather than raised.
+        """
+        try:
+            conn.execute("VACUUM")
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.OperationalError:
+            return False
+        return True
 
     # -- hygiene ---------------------------------------------------------
     def stats(self) -> dict:
-        """Entry counts by (substrate, kind) plus file size and versions."""
-        counts: dict[str, int] = {}
+        """Per-(substrate, kind) entry counts and byte sizes, plus totals.
+
+        ``by_kind`` maps ``"substrate/kind"`` to ``{"entries", "bytes"}``
+        (payload bytes, the quantity eviction budgets against);
+        ``payload_bytes`` is their sum and ``bytes`` the on-disk file size
+        (payload + sqlite overhead).
+        """
+        counts: dict[str, dict[str, int]] = {}
         total = 0
+        payload = 0
         conn = self._connect() if self.enabled else None
         if conn is not None:
             self.flush()
-            for substrate, kind, count in conn.execute(
-                "SELECT substrate, kind, COUNT(*) FROM entries"
-                " GROUP BY substrate, kind ORDER BY substrate, kind"
+            for substrate, kind, count, nbytes in conn.execute(
+                "SELECT substrate, kind, COUNT(*), COALESCE(SUM(size), 0)"
+                " FROM entries GROUP BY substrate, kind"
+                " ORDER BY substrate, kind"
             ):
-                counts[f"{substrate}/{kind}"] = count
+                counts[f"{substrate}/{kind}"] = {
+                    "entries": count,
+                    "bytes": nbytes,
+                }
                 total += count
+                payload += nbytes
         size = self.path.stat().st_size if self.path.exists() else 0
         return {
             "path": str(self.path),
@@ -386,6 +578,8 @@ class BlueprintStore:
             "algo_version": BLUEPRINT_ALGO_VERSION,
             "entries": total,
             "by_kind": counts,
+            "payload_bytes": payload,
+            "budget_bytes": store_budget_bytes(),
             "bytes": size,
         }
 
@@ -434,12 +628,12 @@ def shared_store() -> BlueprintStore:
 # CLI (the ``repro-store`` console script)
 # ----------------------------------------------------------------------
 def main(argv: list[str] | None = None) -> int:
-    """``repro-store stats`` / ``repro-store clear``."""
+    """``repro-store stats`` / ``repro-store clear`` / ``repro-store evict``."""
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="repro-store",
-        description="Inspect or clear the persistent blueprint store.",
+        description="Inspect, trim or clear the persistent blueprint store.",
     )
     parser.add_argument(
         "--dir",
@@ -447,8 +641,19 @@ def main(argv: list[str] | None = None) -> int:
         help="store directory (default: REPRO_STORE_DIR or ~/.cache/repro)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("stats", help="print entry counts and file size")
+    sub.add_parser(
+        "stats", help="print per-kind entry counts/bytes and file size"
+    )
     sub.add_parser("clear", help="delete every stored entry")
+    evict = sub.add_parser(
+        "evict", help="LRU-evict entries down to the size budget"
+    )
+    evict.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        help="budget in megabytes (default: REPRO_STORE_MAX_MB)",
+    )
     args = parser.parse_args(argv)
 
     store = BlueprintStore(directory=args.dir, enabled=True)
@@ -459,13 +664,41 @@ def main(argv: list[str] | None = None) -> int:
             f"versions: schema={stats['schema_version']}"
             f" algo={stats['algo_version']}"
         )
-        print(f"entries:  {stats['entries']}  ({stats['bytes']} bytes)")
-        for bucket, count in stats["by_kind"].items():
-            print(f"  {bucket}: {count}")
+        budget = stats["budget_bytes"]
+        budget_text = f"{budget} bytes" if budget is not None else "unlimited"
+        print(
+            f"entries:  {stats['entries']}"
+            f"  ({stats['payload_bytes']} payload bytes,"
+            f" {stats['bytes']} on disk, budget {budget_text})"
+        )
+        for bucket, detail in stats["by_kind"].items():
+            print(
+                f"  {bucket}: {detail['entries']} entries,"
+                f" {detail['bytes']} bytes"
+            )
     elif args.command == "clear":
         before = store.stats()["entries"]
         store.clear()
         print(f"cleared {before} entries from {store.path}")
+    elif args.command == "evict":
+        # Same semantics as the env knob: non-positive = no budget (and
+        # with no budget at all, error out rather than wiping the store).
+        max_bytes = (
+            int(args.max_mb * 1024 * 1024)
+            if args.max_mb is not None and args.max_mb > 0
+            else None
+        )
+        if max_bytes is None and store_budget_bytes() is None:
+            print("no budget: set --max-mb or REPRO_STORE_MAX_MB")
+            store.close()
+            return 2
+        entries, nbytes = store.evict(max_bytes)
+        after = store.stats()
+        print(
+            f"evicted {entries} entries ({nbytes} bytes);"
+            f" {after['entries']} entries ({after['bytes']} bytes on disk)"
+            " remain"
+        )
     store.close()
     return 0
 

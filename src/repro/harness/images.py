@@ -16,6 +16,7 @@ from repro.harness.runner import (
     cached_corpora,
     evaluate_method,
     jobs,
+    resolve_tasks,
     run_field_jobs,
     scaled,
 )
@@ -68,30 +69,56 @@ def run_finance_experiment(
     train_size: int = 10,
     test_size: int | None = None,
     seed: int = 0,
+    shard=None,
+    tasks: Sequence[tuple[str, str]] | None = None,
 ) -> list[FieldResult]:
     """Table 3: the Finance dataset (34 field tasks, 10 training images)."""
     test_size = test_size if test_size is not None else scaled(160, minimum=25)
+    run_tasks = resolve_tasks(
+        [
+            (doc_type, field_name)
+            for doc_type in doc_types
+            for field_name in finance.FINANCE_FIELDS[doc_type]
+        ],
+        shard,
+        tasks,
+    )
+    return _run_image_tasks("finance", methods, run_tasks,
+                            train_size, test_size, seed)
+
+
+def _run_image_tasks(
+    dataset: str,
+    methods: Sequence[Method],
+    run_tasks: Sequence[tuple[str, str]],
+    train_size: int,
+    test_size: int,
+    seed: int,
+) -> list[FieldResult]:
+    """Shared serial/parallel driver for both image experiments."""
     if jobs() > 1:
         return run_field_jobs(
             _image_field_task,
             [
-                ("finance", list(methods), doc_type, field_name,
+                (dataset, list(methods), provider, field_name,
                  train_size, test_size, seed)
-                for doc_type in doc_types
-                for field_name in finance.FINANCE_FIELDS[doc_type]
+                for provider, field_name in run_tasks
             ],
         )
     results: list[FieldResult] = []
-    for doc_type in doc_types:
-        corpus = _image_corpus(
-            "finance", doc_type, train_size, test_size, seed
-        )
-        corpora = {corpus.train[0].setting: corpus}
-        for field_name in finance.FINANCE_FIELDS[doc_type]:
-            for method in methods:
-                results.extend(
-                    evaluate_method(method, corpora, doc_type, field_name)
-                )
+    corpora: dict | None = None
+    current_provider: str | None = None
+    for provider, field_name in run_tasks:
+        if provider != current_provider:
+            corpus = _image_corpus(
+                dataset, provider, train_size, test_size, seed
+            )
+            corpora = {corpus.train[0].setting: corpus}
+            current_provider = provider
+        for method in methods:
+            results.extend(
+                evaluate_method(method, corpora, provider, field_name)
+            )
     return results
 
 
@@ -154,28 +181,19 @@ def run_m2h_images_experiment(
     train_size: int = 10,
     test_size: int | None = None,
     seed: int = 0,
+    shard=None,
+    tasks: Sequence[tuple[str, str]] | None = None,
 ) -> list[FieldResult]:
     """Table 4: the M2H-Images dataset (print + scan + OCR pipeline)."""
     test_size = test_size if test_size is not None else scaled(120, minimum=25)
-    if jobs() > 1:
-        return run_field_jobs(
-            _image_field_task,
-            [
-                ("m2h_images", list(methods), provider, field_name,
-                 train_size, test_size, seed)
-                for provider in providers
-                for field_name in m2h_images.fields_for(provider)
-            ],
-        )
-    results: list[FieldResult] = []
-    for provider in providers:
-        corpus = _image_corpus(
-            "m2h_images", provider, train_size, test_size, seed
-        )
-        corpora = {corpus.train[0].setting: corpus}
-        for field_name in m2h_images.fields_for(provider):
-            for method in methods:
-                results.extend(
-                    evaluate_method(method, corpora, provider, field_name)
-                )
-    return results
+    run_tasks = resolve_tasks(
+        [
+            (provider, field_name)
+            for provider in providers
+            for field_name in m2h_images.fields_for(provider)
+        ],
+        shard,
+        tasks,
+    )
+    return _run_image_tasks("m2h_images", methods, run_tasks,
+                            train_size, test_size, seed)

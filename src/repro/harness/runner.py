@@ -30,6 +30,13 @@ Environment knobs
     the persistent store lookups (useful for measuring the full effect of
     the caching subsystem); default on.
 
+``REPRO_SHARD``
+    ``i/N`` restricts every experiment driver to the i-th of N
+    deterministic slices of its ``(provider, field)`` task graph, so an
+    experiment can be split across CI jobs or machines and merged back
+    into byte-identical tables (:mod:`repro.harness.sharding` and the
+    ``repro-shard`` CLI).  Default: the whole graph.
+
 ``REPRO_STORE`` / ``REPRO_STORE_DIR``
     The persistent content-hash store (:mod:`repro.core.store`): L2 under
     the ``DistanceCache`` plus program- and corpus-level entries, so
@@ -457,12 +464,33 @@ def m2h_corpora(
     )
 
 
+def resolve_tasks(
+    all_tasks: list[tuple[str, str]],
+    shard,
+    tasks: Sequence[tuple[str, str]] | None,
+) -> list[tuple[str, str]]:
+    """The task subset an experiment driver should run.
+
+    ``tasks`` (an explicit list, used by the shard scheduler and its
+    tests) wins outright; otherwise the canonical list is filtered down to
+    the requested shard — ``shard=None`` reads ``REPRO_SHARD`` from the
+    environment, which defaults to the whole graph.
+    """
+    from repro.harness import sharding
+
+    if tasks is not None:
+        return [tuple(task) for task in tasks]
+    return sharding.assign(all_tasks, sharding.resolve_shard(shard))
+
+
 def run_m2h_experiment(
     methods: Sequence[Method],
     providers: Sequence[str] = m2h.PROVIDERS,
     train_size: int | None = None,
     test_size: int | None = None,
     seed: int = 0,
+    shard=None,
+    tasks: Sequence[tuple[str, str]] | None = None,
 ) -> list[FieldResult]:
     """The M2H HTML experiment behind Tables 1 and 2.
 
@@ -470,27 +498,42 @@ def run_m2h_experiment(
     (roughly 60/520 per provider); sizes default to the scaled-down
     equivalents (see :func:`scale`).  With ``REPRO_JOBS > 1`` the
     independent ``(provider, field)`` tasks run on a process pool; see the
-    module docstring for the determinism guarantees.
+    module docstring for the determinism guarantees.  ``shard`` (or the
+    ``REPRO_SHARD`` env knob, or an explicit ``tasks`` list) restricts the
+    run to a deterministic subset of the task graph — see
+    :mod:`repro.harness.sharding`.
     """
     train_size = train_size if train_size is not None else scaled(60)
     test_size = test_size if test_size is not None else scaled(520, minimum=30)
+    run_tasks = resolve_tasks(
+        [
+            (provider, field)
+            for provider in providers
+            for field in m2h.fields_for(provider)
+        ],
+        shard,
+        tasks,
+    )
     if jobs() > 1:
         return run_field_jobs(
             _m2h_field_task,
             [
                 (list(methods), provider, field, train_size, test_size, seed)
-                for provider in providers
-                for field in m2h.fields_for(provider)
+                for provider, field in run_tasks
             ],
         )
     results: list[FieldResult] = []
-    for provider in providers:
-        corpora = m2h_corpora(provider, train_size, test_size, seed)
-        for field in m2h.fields_for(provider):
-            for method in methods:
-                results.extend(
-                    evaluate_method(method, corpora, provider, field)
-                )
+    corpora: dict[str, Corpus] | None = None
+    current_provider: str | None = None
+    for provider, field in run_tasks:
+        # Round-robin assignment keeps a provider's tasks consecutive, so
+        # one live corpora set at a time suffices — same footprint as the
+        # provider-major loop this replaces.
+        if provider != current_provider:
+            corpora = m2h_corpora(provider, train_size, test_size, seed)
+            current_provider = provider
+        for method in methods:
+            results.extend(evaluate_method(method, corpora, provider, field))
     return results
 
 

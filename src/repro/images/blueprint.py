@@ -55,12 +55,17 @@ def frequent_ngrams(
 
 
 def frequent_gram_of(text: str, frequent: frozenset[str]) -> str | None:
-    """The longest frequent n-gram contained in ``text`` (None if none)."""
-    best: str | None = None
-    for gram in box_ngrams(text):
-        if gram in frequent and (best is None or len(gram) > len(best)):
-            best = gram
-    return best
+    """The longest frequent n-gram contained in ``text`` (None if none).
+
+    Ties between equal-length grams break lexicographically — never by
+    set iteration order, which follows the per-process hash seed and
+    would leak nondeterminism into every BoxSummary (and hence every
+    store key and cross-machine shard result) derived from it.
+    """
+    candidates = [gram for gram in box_ngrams(text) if gram in frequent]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda gram: (len(gram), gram))
 
 
 def box_summary(
@@ -134,9 +139,15 @@ def summary_distance(a: frozenset, b: frozenset) -> float:
         return 0.0
     if not a or not b:
         return 1.0
+    # Greedy matching is order-sensitive when several summaries share a
+    # frequent gram, and frozenset iteration order follows the per-process
+    # hash seed — so iterate both sides in sorted order to keep the value
+    # a pure function of content.  Cross-process reproducibility (shard
+    # jobs on separate machines, store entries computed by one run and
+    # consumed by another) depends on this.
     total = 0.0
-    b_remaining = list(b)
-    for summary in a:
+    b_remaining = sorted(b)
+    for summary in sorted(a):
         best_index = -1
         best_similarity = 0.0
         for index, other in enumerate(b_remaining):

@@ -98,6 +98,21 @@ class ImageDocument:
     def order_of(self, box: TextBox) -> int:
         return self._order.get(id(box), 0)
 
+    def __getstate__(self) -> dict:
+        # ``_order`` maps id(box) -> index, and ids are process-local: an
+        # unpickled copy carrying the original map would silently report
+        # order 0 for every box, collapsing location fingerprints (and
+        # with them every persistent-store key derived from them).
+        return {"boxes": self.boxes, "_fingerprint": self._fingerprint}
+
+    def __setstate__(self, state: dict) -> None:
+        # ``boxes`` is pickled already in reading order; rebuild only the
+        # identity-keyed index.  (Also rebuilds correctly from pre-fix
+        # pickles, whose state dict still carries a stale ``_order``.)
+        self.boxes = state["boxes"]
+        self._order = {id(box): i for i, box in enumerate(self.boxes)}
+        self._fingerprint = state.get("_fingerprint")
+
     def fingerprint(self) -> str:
         """Stable content hash over the boxes (persistent-store key).
 

@@ -30,7 +30,8 @@ class ImageDomain(Domain):
     # landmark_candidates refreshes self._patterns as a side effect, so the
     # caching layer must never skip a call (see Domain.pure_landmarks).
     pure_landmarks = False
-    # summary_distance matches greedily over its first argument, so
+    # summary_distance matches greedily over its first argument (in
+    # sorted order, so the value is a pure function of content), and
     # d(a, b) != d(b, a) in general; the cache must key on orientation.
     symmetric_distance = False
 

@@ -206,7 +206,13 @@ class TestHygiene:
         store.put("doc_bp", "k2", "html", frozenset({"a"}))
         stats = store.stats()
         assert stats["entries"] == 2
-        assert stats["by_kind"] == {"html/dist": 1, "html/doc_bp": 1}
+        assert sorted(stats["by_kind"]) == ["html/dist", "html/doc_bp"]
+        for detail in stats["by_kind"].values():
+            assert detail["entries"] == 1
+            assert detail["bytes"] > 0
+        assert stats["payload_bytes"] == sum(
+            detail["bytes"] for detail in stats["by_kind"].values()
+        )
         assert stats["schema_version"] == store_mod.SCHEMA_VERSION
         assert stats["algo_version"] == store_mod.BLUEPRINT_ALGO_VERSION
         store.clear()
@@ -220,7 +226,7 @@ class TestHygiene:
         conn = store._connect()
         conn.execute(
             "INSERT OR REPLACE INTO entries VALUES"
-            " ('bad', 'dist', 'html', ?, 0)",
+            " ('bad', 'dist', 'html', ?, 0, 0, 12)",
             (b"not a pickle",),
         )
         conn.commit()
@@ -247,7 +253,8 @@ class TestCli:
         assert store_mod.main(["--dir", str(tmp_path / "store"), "stats"]) == 0
         out = capsys.readouterr().out
         assert "entries:  1" in out
-        assert "html/dist: 1" in out
+        assert "html/dist: 1 entries" in out
+        assert "bytes" in out
 
     def test_clear_command(self, tmp_path, capsys):
         store = make_store(tmp_path)

@@ -1,0 +1,273 @@
+"""Shard determinism: any split must merge byte-identical to one full run.
+
+Property-style coverage for :mod:`repro.harness.sharding`: round-robin and
+*arbitrary* task partitions, shuffled merge order, N=1, N greater than the
+task count (empty shards), plus the merge validator's failure modes.  The
+experiment arms run the real M2H pipeline on two providers at toy sizes so
+score equivalence is end-to-end, not mocked.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import m2h
+from repro.harness import sharding
+from repro.harness.runner import LrsynHtmlMethod, run_m2h_experiment
+
+PROVIDERS = ["getthere", "delta"]
+TRAIN, TEST = 4, 6
+
+
+def graph():
+    return [
+        (provider, field)
+        for provider in PROVIDERS
+        for field in m2h.fields_for(provider)
+    ]
+
+
+def small_run(methods, tasks, seed):
+    return run_m2h_experiment(
+        methods,
+        providers=PROVIDERS,
+        train_size=TRAIN,
+        test_size=TEST,
+        seed=seed,
+        tasks=tasks,
+    )
+
+
+def make_partial(shard=None, owned=None):
+    return sharding.run_shard(
+        "m2h",
+        shard,
+        graph=graph(),
+        owned=owned,
+        methods=[LrsynHtmlMethod()],
+        run=small_run,
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return make_partial(sharding.FULL_RUN)
+
+
+@pytest.fixture(scope="module")
+def baseline_scores(baseline):
+    return sharding.canonical_scores(sharding.flat_results(baseline))
+
+
+class TestShardSpec:
+    def test_parse(self):
+        assert sharding.parse_shard("0/2") == sharding.ShardSpec(0, 2)
+        assert sharding.parse_shard(" 2/3 ") == sharding.ShardSpec(2, 3)
+
+    @pytest.mark.parametrize("bad", ["", "x", "1", "3/3", "-1/2", "1/0", "a/b"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            sharding.parse_shard(bad)
+
+    def test_env_default_is_full_run(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
+        assert sharding.env_shard() == sharding.FULL_RUN
+
+    def test_env_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD", "1/4")
+        assert sharding.env_shard() == sharding.ShardSpec(1, 4)
+
+    def test_resolve(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD", "1/2")
+        assert sharding.resolve_shard(None) == sharding.ShardSpec(1, 2)
+        assert sharding.resolve_shard("0/3") == sharding.ShardSpec(0, 3)
+        spec = sharding.ShardSpec(2, 5)
+        assert sharding.resolve_shard(spec) is spec
+
+
+class TestAssignment:
+    def test_n1_is_identity(self):
+        tasks = graph()
+        assert sharding.assign(tasks, sharding.FULL_RUN) == tasks
+
+    @pytest.mark.parametrize("count", [2, 3, 5, 97])
+    def test_shards_partition_the_graph(self, count):
+        tasks = graph()
+        shards = [
+            sharding.assign(tasks, sharding.ShardSpec(i, count))
+            for i in range(count)
+        ]
+        # Disjoint, complete, and balanced to within one task.
+        flat = [task for shard in shards for task in shard]
+        assert sorted(flat) == sorted(tasks)
+        assert len(flat) == len(tasks)
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_large_count_leaves_empty_shards(self):
+        tasks = graph()
+        count = len(tasks) + 10
+        shards = [
+            sharding.assign(tasks, sharding.ShardSpec(i, count))
+            for i in range(count)
+        ]
+        assert all(len(shard) == 1 for shard in shards[: len(tasks)])
+        assert all(shard == [] for shard in shards[len(tasks):])
+
+    def test_provider_tasks_stay_consecutive(self):
+        # The serial loop keeps one provider's corpora live at a time;
+        # round-robin must not interleave providers within a shard.
+        tasks = graph()
+        for count in (2, 3):
+            for index in range(count):
+                owned = sharding.assign(tasks, sharding.ShardSpec(index, count))
+                providers = [provider for provider, _ in owned]
+                assert providers == sorted(
+                    providers, key=PROVIDERS.index
+                )
+
+
+class TestMergeEquivalence:
+    @pytest.mark.parametrize("count", [1, 2, 3])
+    def test_round_robin_merge_matches_unsharded(
+        self, count, baseline_scores
+    ):
+        partials = [
+            make_partial(sharding.ShardSpec(i, count)) for i in range(count)
+        ]
+        merged = sharding.merge_partials(partials)
+        scores = sharding.canonical_scores(sharding.flat_results(merged))
+        assert scores == baseline_scores
+
+    def test_shard_count_beyond_task_count(self, baseline_scores):
+        count = len(graph()) + 3  # some shards own nothing
+        partials = [
+            make_partial(sharding.ShardSpec(i, count)) for i in range(count)
+        ]
+        assert any(not partial["owned"] for partial in partials)
+        merged = sharding.merge_partials(partials)
+        scores = sharding.canonical_scores(sharding.flat_results(merged))
+        assert scores == baseline_scores
+
+    def test_merge_order_is_irrelevant(self, baseline_scores):
+        partials = [make_partial(sharding.ShardSpec(i, 3)) for i in range(3)]
+        rng = random.Random(7)
+        for _ in range(3):
+            rng.shuffle(partials)
+            merged = sharding.merge_partials(partials)
+            scores = sharding.canonical_scores(sharding.flat_results(merged))
+            assert scores == baseline_scores
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_arbitrary_task_permutations_merge_identical(
+        self, seed, baseline_scores
+    ):
+        """Any partition of the graph — not just round-robin — merges
+        back to the canonical result, because the merge reorders by
+        canonical position rather than trusting shard-arrival order."""
+        tasks = graph()
+        rng = random.Random(seed)
+        shuffled = tasks[:]
+        rng.shuffle(shuffled)
+        count = rng.randint(2, 4)
+        owned_sets = [shuffled[i::count] for i in range(count)]
+        partials = [make_partial(owned=owned) for owned in owned_sets]
+        merged = sharding.merge_partials(partials)
+        scores = sharding.canonical_scores(sharding.flat_results(merged))
+        assert scores == baseline_scores
+
+    def test_rendered_tables_identical(self, baseline):
+        partials = [make_partial(sharding.ShardSpec(i, 2)) for i in range(2)]
+        merged = sharding.merge_partials(partials)
+        # Compare only result content: the two dicts differ in wall/timer.
+        assert sharding.canonical_scores(
+            sharding.flat_results(merged)
+        ) == sharding.canonical_scores(sharding.flat_results(baseline))
+        assert sharding.diff_partials(merged, baseline) is None
+
+    def test_partial_round_trips_through_disk(self, tmp_path, baseline):
+        partials = [make_partial(sharding.ShardSpec(i, 2)) for i in range(2)]
+        paths = []
+        for index, partial in enumerate(partials):
+            path = tmp_path / f"part{index}.pkl"
+            sharding.save_partial(path, partial)
+            paths.append(path)
+        loaded = [sharding.load_partial(path) for path in paths]
+        merged = sharding.merge_partials(loaded)
+        assert sharding.diff_partials(merged, baseline) is None
+
+
+class TestMergeValidation:
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError, match="no partials"):
+            sharding.merge_partials([])
+
+    def test_duplicate_ownership_rejected(self):
+        partials = [make_partial(sharding.ShardSpec(i, 2)) for i in range(2)]
+        partials[1]["owned"] = partials[0]["owned"]
+        partials[1]["results"] = partials[0]["results"]
+        with pytest.raises(ValueError, match="owned by two"):
+            sharding.merge_partials(partials)
+
+    def test_missing_tasks_rejected(self):
+        partials = [make_partial(sharding.ShardSpec(0, 2))]
+        with pytest.raises(ValueError, match="incomplete merge"):
+            sharding.merge_partials(partials)
+
+    def test_mixed_configurations_rejected(self):
+        left = make_partial(sharding.ShardSpec(0, 2))
+        right = make_partial(sharding.ShardSpec(1, 2))
+        right = dict(right, graph_digest="0" * 64)
+        with pytest.raises(ValueError, match="incompatible"):
+            sharding.merge_partials([left, right])
+
+    def test_stray_tasks_rejected(self):
+        partials = [make_partial(sharding.ShardSpec(i, 2)) for i in range(2)]
+        partials[1]["owned"] = partials[1]["owned"] + [("nosuch", "Field")]
+        with pytest.raises(ValueError, match="outside the graph"):
+            sharding.merge_partials(partials)
+
+    def test_unowned_results_rejected(self):
+        # A results entry outside the partial's owned list must fail the
+        # merge, not silently overwrite the rightful owner's rows.
+        partials = [make_partial(sharding.ShardSpec(i, 2)) for i in range(2)]
+        stolen = partials[0]["owned"][0]
+        partials[1]["results"][stolen] = partials[0]["results"][stolen]
+        with pytest.raises(ValueError, match="does not own"):
+            sharding.merge_partials(partials)
+
+    def test_different_method_sets_rejected(self):
+        from repro.harness.runner import NdsynMethod
+
+        left = make_partial(sharding.ShardSpec(0, 2))
+        right = sharding.run_shard(
+            "m2h",
+            sharding.ShardSpec(1, 2),
+            graph=graph(),
+            methods=[NdsynMethod()],
+            run=small_run,
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            sharding.merge_partials([left, right])
+
+
+class TestEnvIntegration:
+    def test_experiment_driver_honours_repro_shard(
+        self, monkeypatch, baseline_scores
+    ):
+        """REPRO_SHARD alone — no explicit task lists — must slice the
+        driver's own task graph the same way the scheduler does."""
+        results = []
+        for index in range(2):
+            monkeypatch.setenv("REPRO_SHARD", f"{index}/2")
+            results.append(
+                small_run([LrsynHtmlMethod()], None, 0)
+            )
+        monkeypatch.delenv("REPRO_SHARD")
+        full = small_run([LrsynHtmlMethod()], None, 0)
+        sharded_keys = sorted(
+            (r.provider, r.field, r.setting) for part in results for r in part
+        )
+        assert sharded_keys == sorted(
+            (r.provider, r.field, r.setting) for r in full
+        )
