@@ -1,7 +1,7 @@
 """Ablations of LRSyn's design choices.
 
 The paper's prose motivates three mechanisms without table-level ablation;
-this bench quantifies each on the M2H dataset:
+this bench quantifies each:
 
 * the **blueprint check** of Algorithm 1 (Section 2.2: "Otherwise, we look
   for other extraction programs...") — disabled by setting the distance
@@ -11,19 +11,20 @@ this bench quantifies each on the M2H dataset:
 * **layout-conditional strategies** (Section 1: value extraction is
   "conditional on both the landmark and the layout of the identified
   region") — disabled by forcing a single layout group per cluster.
+
+The first two run as the ``ablations`` experiment of the ``repro-shard``
+registry (:mod:`repro.harness.ablations`) — through the harness method
+layer, so the program/corpus store and every ``REPRO_*`` knob apply, and
+synthesis failures surface as NaN *only* for ``SynthesisFailure`` (the
+old bench swallowed every exception, so a store or schema bug read as
+"ablation hurt F1").  The layout study stays local: its corpus is a
+purpose-built synthetic, not a dataset.
 """
 
-from repro.core.metrics import score_corpus
-from repro.datasets import m2h
-from repro.datasets.base import CONTEMPORARY
 from repro.harness.reporting import render_table
-from repro.harness.runner import LrsynHtmlMethod
 from repro.html.domain import HtmlDomain
 
-from benchmarks.common import emit
-
-TRAIN_SIZE = 20
-TEST_SIZE = 60
+from benchmarks.common import ablations_results, emit
 
 
 class MergedLayoutDomain(HtmlDomain):
@@ -32,17 +33,8 @@ class MergedLayoutDomain(HtmlDomain):
     layout_conditional = False
 
 
-
-def _f1(method, provider, field_name, setting):
-    corpus = m2h.generate_corpus(
-        provider, train_size=TRAIN_SIZE, test_size=TEST_SIZE,
-        setting=setting, seed=0,
-    )
-    try:
-        extractor = method.train(corpus.training_examples(field_name))
-    except Exception:
-        return float("nan")
-    return score_corpus(corpus.test_pairs(field_name, extractor)).f1
+def _setting_results(results, mechanism):
+    return [r for r in results if r.setting == mechanism]
 
 
 def test_ablation_blueprint_check(benchmark):
@@ -52,29 +44,14 @@ def test_ablation_blueprint_check(benchmark):
     substring of the "Customer Reference No" label, so ``Locate`` returns
     both boxes; only the blueprint comparison rejects the wrong one.
     """
-    import dataclasses
-
-    from repro.datasets import finance
-    from repro.harness.images import IMAGE_CONFIG, LrsynImageMethod
-
-    loose = dataclasses.replace(IMAGE_CONFIG, blueprint_threshold=1.0)
-
-    def run():
-        corpus = finance.generate_corpus(
-            "SalesInvoice", train_size=10, test_size=40, seed=0
-        )
-        examples = corpus.training_examples("RefNo")
-        gated = score_corpus(
-            corpus.test_pairs("RefNo", LrsynImageMethod().train(examples))
-        )
-        ungated = score_corpus(
-            corpus.test_pairs(
-                "RefNo", LrsynImageMethod(loose).train(examples)
-            )
-        )
-        return gated, ungated
-
-    gated, ungated = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_method = {
+        r.method: r
+        for r in _setting_results(ablations_results(), "blueprint")
+        if r.field == "RefNo"
+    }
+    gated = by_method["LRSyn"]
+    ungated = by_method["LRSyn[no-blueprint]"]
     table = render_table(
         ["Measure", "With blueprint check", "Without"],
         [
@@ -92,15 +69,14 @@ def test_ablation_blueprint_check(benchmark):
 def test_ablation_hierarchical_landmarks(benchmark):
     """Without Section 6.1, the car section's 'Depart:' leaks into DTime."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = _setting_results(ablations_results(), "hierarchy")
     rows = []
     for field_name in ("DTime", "DDate"):
-        with_hier = _f1(
-            LrsynHtmlMethod(), "getthere", field_name, CONTEMPORARY
-        )
-        without = _f1(
-            LrsynHtmlMethod(hierarchical=False),
-            "getthere", field_name, CONTEMPORARY,
-        )
+        by_method = {
+            r.method: r.f1 for r in results if r.field == field_name
+        }
+        with_hier = by_method["LRSyn"]
+        without = by_method["LRSyn[flat]"]
         rows.append([f"getthere.{field_name}", f"{with_hier:.2f}",
                      f"{without:.2f}"])
         assert with_hier >= without

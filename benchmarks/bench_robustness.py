@@ -8,46 +8,52 @@ Two checks from the paper:
 * **Landmark-threshold choice** — keeping 2x as many landmark candidates
   leaves the results identical, because bad candidates are eliminated when
   no program extracts the values from them.
+
+Both run through the experiment harness (``run_m2h_robustness_experiment``
+/ ``train_method`` + the cached-corpus helpers) rather than hand-rolled
+``generate_corpus``/``train`` loops, so the L1/L2 caches, the persistent
+program/corpus store, ``REPRO_JOBS`` and ``REPRO_SHARD`` cover this bench
+exactly like the table benches — the training-set study is the
+``robustness`` experiment of the ``repro-shard`` registry.
 """
 
 import math
 
 from repro.core.metrics import score_corpus
 from repro.core.synthesis import LrsynConfig
-from repro.datasets import m2h
-from repro.datasets.base import CONTEMPORARY
 from repro.harness.reporting import render_table
-from repro.harness.runner import LrsynHtmlMethod
+from repro.harness.runner import (
+    ROBUSTNESS_FIELDS,
+    ROBUSTNESS_PROVIDERS,
+    ROBUSTNESS_SEEDS,
+    LrsynHtmlMethod,
+    m2h_contemporary_corpus,
+    train_method,
+)
 
-from benchmarks.common import emit
-
-PROVIDERS = ("getthere", "delta", "airasia")
-FIELDS = ("DTime", "DIata", "RId")
-SEEDS = (0, 1, 2, 3)
-
-
-def _field_f1(method, provider, field_name, seed):
-    corpus = m2h.generate_corpus(
-        provider, train_size=20, test_size=40,
-        setting=CONTEMPORARY, seed=seed,
-    )
-    extractor = method.train(corpus.training_examples(field_name))
-    return score_corpus(corpus.test_pairs(field_name, extractor)).f1
+from benchmarks.common import emit, robustness_results
 
 
 def test_training_set_choice(benchmark):
-    def run():
-        spreads = {}
-        for provider in PROVIDERS:
-            for field_name in FIELDS:
-                f1s = [
-                    _field_f1(LrsynHtmlMethod(), provider, field_name, seed)
-                    for seed in SEEDS
-                ]
-                spreads[(provider, field_name)] = max(f1s) - min(f1s)
-        return spreads
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = robustness_results()
 
-    spreads = benchmark.pedantic(run, rounds=1, iterations=1)
+    spreads = {}
+    for provider in ROBUSTNESS_PROVIDERS:
+        for field_name in ROBUSTNESS_FIELDS:
+            f1s = [
+                r.f1
+                for r in results
+                if r.provider == provider and r.field == field_name
+            ]
+            assert len(f1s) == len(ROBUSTNESS_SEEDS)
+            # A NaN (SynthesisFailure) would silently fall out of
+            # max()/min(); a failed training seed must fail the bench,
+            # as loudly as the pre-harness version's uncaught exception.
+            assert not any(math.isnan(f1) for f1 in f1s), (
+                f"{provider}.{field_name}: synthesis failed for a seed"
+            )
+            spreads[(provider, field_name)] = max(f1s) - min(f1s)
 
     rows = [
         [f"{provider}.{field_name}", f"{spread:.3f}"]
@@ -70,18 +76,17 @@ def test_landmark_threshold_choice(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = []
     for provider, field_name in (("getthere", "DTime"), ("delta", "RId")):
-        corpus = m2h.generate_corpus(
-            provider, train_size=12, test_size=40,
-            setting=CONTEMPORARY, seed=0,
+        corpus = m2h_contemporary_corpus(
+            provider, train_size=12, test_size=40, seed=0
         )
         examples = corpus.training_examples(field_name)
         baseline = LrsynHtmlMethod(LrsynConfig(max_candidates=10))
         doubled = LrsynHtmlMethod(LrsynConfig(max_candidates=20))
         f1_base = score_corpus(
-            corpus.test_pairs(field_name, baseline.train(examples))
+            corpus.test_pairs(field_name, train_method(baseline, examples))
         ).f1
         f1_doubled = score_corpus(
-            corpus.test_pairs(field_name, doubled.train(examples))
+            corpus.test_pairs(field_name, train_method(doubled, examples))
         ).f1
         rows.append(
             [f"{provider}.{field_name}", f"{f1_base:.3f}", f"{f1_doubled:.3f}"]

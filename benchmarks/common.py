@@ -18,12 +18,16 @@ recorded with each entry.
 from __future__ import annotations
 
 import functools
+import os
 import pathlib
+import subprocess
+import sys
 import time
 
 from repro.core.caching import StageTimer, cache_enabled, use_timer
 from repro.core.store import store_enabled
 from repro.harness.sharding import env_shard
+from repro.harness.ablations import run_ablations_experiment
 from repro.harness.images import (
     AfrMethod,
     LrsynImageMethod,
@@ -38,14 +42,48 @@ from repro.harness.runner import (
     flush_corpus_store,
     jobs,
     run_m2h_experiment,
+    run_m2h_robustness_experiment,
     scale,
 )
 
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 SPEED_TRAJECTORY = RESULTS_DIR / "BENCH_synthesis_speed.json"
 
 HTML_METHODS = ("ForgivingXPaths", "NDSyn", "LRSyn")
 IMAGE_METHODS = ("AFR", "LRSyn")
+
+
+def run_shard_subprocess(
+    experiment: str,
+    shard: str,
+    seed: int,
+    scale: str,
+    out: pathlib.Path,
+    hash_seed: int | None = None,
+) -> None:
+    """Run one ``repro-shard run`` in a child process (CI gate scripts).
+
+    Shared by ``shard_equivalence_check`` (which pins a distinct
+    ``PYTHONHASHSEED`` per arm to emulate separate machines) and
+    ``shard_prewarm_check`` (which inherits the ambient one).
+    """
+    env = {**os.environ, "REPRO_SCALE": scale}
+    if hash_seed is not None:
+        env["PYTHONHASHSEED"] = str(hash_seed)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.harness.sharding", "run",
+            "--experiment", experiment, "--shard", shard,
+            "--seed", str(seed), "--out", str(out),
+        ],
+        env=env,
+        check=True,
+        cwd=REPO_ROOT,
+    )
 
 
 def emit(name: str, text: str) -> None:
@@ -115,4 +153,26 @@ def m2h_images_results(seed: int = 0):
         run_m2h_images_experiment,
         [AfrMethod(), LrsynImageMethod()],
         seed=seed,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def robustness_results(seed: int = 0):
+    """The Section 7.4 training-set robustness experiment (seed axis in
+    ``FieldResult.setting``), routed through the harness like every
+    table experiment — caches, store, ``REPRO_JOBS`` and ``REPRO_SHARD``
+    all apply."""
+    return timed_experiment(
+        "robustness",
+        run_m2h_robustness_experiment,
+        [LrsynHtmlMethod()],
+        seed=seed,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def ablations_results(seed: int = 0):
+    """The mechanism ablations (mechanism in ``FieldResult.setting``)."""
+    return timed_experiment(
+        "ablations", run_ablations_experiment, seed=seed
     )

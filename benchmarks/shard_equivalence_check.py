@@ -1,8 +1,9 @@
 """CI shard-equivalence gate: sharded merges must equal the unsharded run.
 
-Runs the M2H experiment (the workload behind ``bench_table1_m2h_overall``)
-once unsharded, then for every requested shard count N runs each shard
-``i/N`` and merges the partials, asserting that
+Runs each requested experiment (any name in the ``repro-shard`` registry —
+the table workloads *and* the robustness/ablation benches) once unsharded,
+then for every requested shard count N runs each shard ``i/N`` and merges
+the partials, asserting that
 
 * the canonical score dump (full-``repr`` float precision) is
   byte-identical to the unsharded baseline, and
@@ -23,75 +24,45 @@ synthesis-speed trajectory so CI artifacts record the evidence.
 Usage::
 
     python benchmarks/shard_equivalence_check.py [--scale 0.15]
-        [--shards 2 3] [--experiment m2h] [--seed 0]
+        [--shards 2 3] [--experiment m2h robustness ablations] [--seed 0]
 """
 
 from __future__ import annotations
 
 import argparse
-import os
 import pathlib
-import subprocess
 import sys
 import tempfile
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))  # for benchmarks.common
+
+from benchmarks.common import run_shard_subprocess  # noqa: E402
 
 TRAJECTORY = REPO / "benchmarks" / "results" / "BENCH_synthesis_speed.json"
 
 
-def run_shard_subprocess(
+def check_experiment(
     experiment: str,
-    shard: str,
+    shards: list[int],
     seed: int,
     scale: str,
-    out: pathlib.Path,
     hash_seed: int,
-) -> None:
-    env = {
-        **os.environ,
-        "REPRO_SCALE": scale,
-        "PYTHONHASHSEED": str(hash_seed),
-    }
-    env["PYTHONPATH"] = str(REPO / "src") + (
-        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-    )
-    subprocess.run(
-        [
-            sys.executable, "-m", "repro.harness.sharding", "run",
-            "--experiment", experiment, "--shard", shard,
-            "--seed", str(seed), "--out", str(out),
-        ],
-        env=env,
-        check=True,
-        cwd=REPO,
-    )
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", default="0.15")
-    parser.add_argument("--shards", type=int, nargs="+", default=[2, 3])
-    parser.add_argument("--experiment", default="m2h")
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-
+) -> tuple[int, int]:
+    """Run one experiment's equivalence arms; returns (failures, hash_seed)."""
     from repro.harness import sharding
     from repro.harness.reporting import record_synthesis_speed
 
-    print(
-        f"shard-equivalence: {args.experiment} at scale {args.scale},"
-        f" shard counts {args.shards}, one process + hash seed per arm"
-    )
     failures = 0
     with tempfile.TemporaryDirectory(prefix="shard-eq-") as tmp:
         tmp_path = pathlib.Path(tmp)
         baseline_path = tmp_path / "baseline.pkl"
         run_shard_subprocess(
-            args.experiment, "0/1", args.seed, args.scale,
-            baseline_path, hash_seed=1,
+            experiment, "0/1", seed, scale, baseline_path,
+            hash_seed=hash_seed,
         )
+        hash_seed += 1
         baseline = sharding.load_partial(baseline_path)
         base_scores = sharding.canonical_scores(
             sharding.flat_results(baseline)
@@ -102,15 +73,14 @@ def main(argv: list[str] | None = None) -> int:
             f" {baseline['wall_seconds']:.2f}s"
         )
 
-        hash_seed = 2
-        for count in args.shards:
+        for count in shards:
             partials = []
             wall = 0.0
             for index in range(count):
                 path = tmp_path / f"part-{count}-{index}.pkl"
                 run_shard_subprocess(
-                    args.experiment, f"{index}/{count}", args.seed,
-                    args.scale, path, hash_seed=hash_seed,
+                    experiment, f"{index}/{count}", seed,
+                    scale, path, hash_seed=hash_seed,
                 )
                 hash_seed += 1
                 partial = sharding.load_partial(path)
@@ -132,16 +102,43 @@ def main(argv: list[str] | None = None) -> int:
             )
             record_synthesis_speed(
                 TRAJECTORY,
-                f"shard_equivalence_{args.experiment}",
+                f"shard_equivalence_{experiment}",
                 wall,
                 merged["timer"],
-                scale=float(args.scale),
+                scale=float(scale),
                 shards=count,
                 identical=identical,
             )
+    return failures, hash_seed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="0.15")
+    parser.add_argument("--shards", type=int, nargs="+", default=[2, 3])
+    parser.add_argument(
+        "--experiment",
+        nargs="+",
+        default=["m2h"],
+        help="registry experiments to check (e.g. m2h robustness ablations)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    failures = 0
+    hash_seed = 1
+    for experiment in args.experiment:
+        print(
+            f"shard-equivalence: {experiment} at scale {args.scale},"
+            f" shard counts {args.shards}, one process + hash seed per arm"
+        )
+        experiment_failures, hash_seed = check_experiment(
+            experiment, args.shards, args.seed, args.scale, hash_seed
+        )
+        failures += experiment_failures
 
     if failures:
-        print(f"FAIL: {failures} shard count(s) diverged from the baseline")
+        print(f"FAIL: {failures} arm(s) diverged from their baseline")
         return 1
     print(
         "PASS: every sharded merge is byte-identical to the unsharded run"

@@ -1,0 +1,117 @@
+"""CI shard-prewarming gate: a warm-store shard rerun must be faster.
+
+Cross-shard store prewarming ships a warm ``~/.cache/repro`` to every
+shard job (``actions/cache`` restore), so shards skip training for any
+task a previous workflow run has seen.  This script is the per-shard
+proof: it runs one ``repro-shard run`` twice against the same store
+directory and asserts
+
+* the two partials are **score-identical** (``repro-shard diff``
+  semantics — the store must never change a byte of output), and
+* the second (prewarmed) run's recorded wall-clock beats the first —
+  enforced only when the first run was **fully cold** for this shard's
+  own tasks (its recorded ``store.program`` counters show misses and no
+  hits).  A first run that was fully or even partially warm — a
+  restored cache from a prior workflow run, or from an older commit via
+  the ``restore-keys`` fallback after a task-graph change — leaves run
+  2 with too thin a margin to beat timing noise reliably, so only score
+  identity is enforced there.  Probing the partial's own counters —
+  rather than "does the store hold any corpus entry" — keeps the gate
+  live when the restored cache was warmed by a *different* experiment,
+  and keeps it from false-failing when eviction stripped corpus rows
+  but left the program rows warm.
+
+The first partial is kept at ``--out`` for the downstream merge job, so
+the gate rides along the existing shard-smoke topology at no extra
+artifact cost.
+
+Usage::
+
+    python benchmarks/shard_prewarm_check.py --experiment robustness \
+        --shard 0/2 --scale 0.15 --out partial-robustness-0.pkl
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))  # for benchmarks.common
+
+from benchmarks.common import run_shard_subprocess  # noqa: E402
+
+
+def run_was_cold(partial: dict) -> bool:
+    """Whether a recorded shard run trained everything itself.
+
+    Only a fully cold first run (program misses, zero hits) guarantees
+    the prewarmed rerun a timing margin that beats CI noise; any hit
+    means part of run 1's work was already store-served.
+    """
+    counters = partial.get("timer", {}).get("counters", {})
+    return (
+        counters.get("store.program.miss", 0) > 0
+        and counters.get("store.program.hit", 0) == 0
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--experiment", default="m2h")
+    parser.add_argument("--shard", default="0/1")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", default="0.15")
+    parser.add_argument("--out", required=True)
+    args = parser.parse_args(argv)
+
+    from repro.harness import sharding
+
+    out = pathlib.Path(args.out)
+    rerun_path = out.with_suffix(".prewarmed.pkl")
+    run_shard_subprocess(
+        args.experiment, args.shard, args.seed, args.scale, out
+    )
+    run_shard_subprocess(
+        args.experiment, args.shard, args.seed, args.scale, rerun_path
+    )
+
+    first = sharding.load_partial(out)
+    second = sharding.load_partial(rerun_path)
+    rerun_path.unlink()
+    first_was_cold = run_was_cold(first)
+
+    verdict = sharding.diff_partials(first, second)
+    if verdict is not None:
+        print(f"FAIL: prewarmed rerun changed scores: {verdict}")
+        return 1
+    print(
+        f"shard {args.shard} of {args.experiment}: scores identical;"
+        f" run 1 {first['wall_seconds']:.2f}s"
+        f" | prewarmed run 2 {second['wall_seconds']:.2f}s"
+    )
+    if not first_was_cold:
+        print("run 1 was at least partially warm for this shard's tasks"
+              " (restored cache) — timing gate skipped")
+        return 0
+    # Clock-independent prewarming evidence first: after a cold run 1,
+    # run 2 must have trained nothing at all.
+    rerun_counters = second.get("timer", {}).get("counters", {})
+    if rerun_counters.get("store.program.miss", 0) > 0:
+        print("FAIL: prewarmed rerun still trained"
+              f" ({rerun_counters['store.program.miss']} program misses)")
+        return 1
+    if second["wall_seconds"] >= first["wall_seconds"]:
+        print("FAIL: prewarmed rerun was not faster than the cold run")
+        return 1
+    print(
+        "prewarm speedup:"
+        f" {first['wall_seconds'] / second['wall_seconds']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,15 @@ database.  Values round-trip through :mod:`pickle`, which preserves the
 exact ``frozenset`` / tuple blueprint values, so runs served from the store
 stay byte-identical to cold runs.
 
+Large-blob kinds (currently ``corpus``, which dominates ``payload_bytes``)
+are additionally **zlib-compressed** on disk: each row records its codec in
+a ``codec`` column, decompression happens transparently on read, and the
+``size`` column (the quantity LRU eviction budgets against) accounts the
+*compressed* bytes.  Pickled HTML/OCR corpora are highly redundant, so the
+corpus kind typically shrinks well over 2x.  ``REPRO_STORE_CODEC=raw``
+disables compression for new writes; mixed-codec stores read fine because
+every row is decoded per its own codec.
+
 The store is *bounded*: ``REPRO_STORE_MAX_MB`` sets a payload-size budget
 enforced by LRU eviction — every flush (and the explicit ``repro-store
 evict``) deletes least-recently-used entries until the budget holds, but
@@ -53,6 +62,7 @@ import os
 import pickle
 import sqlite3
 import time
+import zlib
 from pathlib import Path
 from typing import Any
 
@@ -64,10 +74,13 @@ from typing import Any
 #    hash-seed-dependent frozenset order for contended grams).
 BLUEPRINT_ALGO_VERSION = 2
 
-# Bump when the sqlite layout itself changes; a mismatch wipes the database
-# on open rather than attempting migration.  (2: last_used + size columns
-# for LRU eviction and per-kind byte accounting.)
-SCHEMA_VERSION = 2
+# Bump when the sqlite layout itself changes.  (2: last_used + size columns
+# for LRU eviction and per-kind byte accounting.  3: codec column for
+# transparent blob compression.)  v2 databases migrate in place — the
+# codec column is a pure addition, so existing uncompressed entries stay
+# readable; any other mismatch wipes the database on open rather than
+# attempting migration.
+SCHEMA_VERSION = 3
 
 _DB_NAME = "blueprints.sqlite"
 _LOCK_NAME = "store.lock"
@@ -76,6 +89,44 @@ _LOCK_NAME = "store.lock"
 # by key with point SELECTs instead of hydrating the whole kind into
 # memory — a warm run typically needs only its own configuration's rows.
 _LARGE_KINDS = frozenset({"corpus"})
+
+# Large-blob kinds are also the compressible ones: pickled corpora are
+# dominated by repeated markup/OCR text, where zlib routinely wins >2x.
+# Small blueprint/distance rows stay raw — per-row (de)compression would
+# cost more than the bytes it saves.
+_COMPRESSED_KINDS = _LARGE_KINDS
+
+_RAW_CODEC = "raw"
+_ZLIB_CODEC = "zlib"
+
+
+def store_codec() -> str:
+    """Codec for new large-kind writes (``REPRO_STORE_CODEC`` env knob).
+
+    ``zlib`` (the default) compresses the corpus kind's pickled payloads;
+    ``raw`` writes them uncompressed.  Reads are codec-tagged per row, so
+    the knob never affects the readability of existing entries.
+    """
+    raw = os.environ.get("REPRO_STORE_CODEC", _ZLIB_CODEC).strip() or _ZLIB_CODEC
+    if raw not in (_RAW_CODEC, _ZLIB_CODEC):
+        raise ValueError(
+            f"REPRO_STORE_CODEC must be 'zlib' or 'raw', got {raw!r}"
+        )
+    return raw
+
+
+def _encode_blob(kind: str, blob: bytes, codec: str) -> tuple[bytes, str]:
+    """Apply the configured ``codec`` to an already-pickled payload."""
+    if kind in _COMPRESSED_KINDS and codec == _ZLIB_CODEC:
+        return zlib.compress(blob, 6), _ZLIB_CODEC
+    return blob, _RAW_CODEC
+
+
+def _decode_value(blob: bytes, codec: str) -> Any:
+    """Invert :func:`_encode_blob` + the pickle layer, per the row's codec."""
+    if codec == _ZLIB_CODEC:
+        blob = zlib.decompress(blob)
+    return pickle.loads(blob)
 
 # Batched writes are flushed once this many puts accumulate (and at
 # interpreter exit / explicit flush()).  Large batches keep cold runs
@@ -221,6 +272,11 @@ class BlueprintStore:
         self.hits = 0
         self.misses = 0
         if self.enabled:
+            # Fail fast on a bad REPRO_STORE_CODEC: flushes run from an
+            # atexit hook whose exceptions are printed-and-swallowed, so
+            # a knob typo discovered only there would silently persist
+            # nothing.
+            store_codec()
             atexit.register(self.flush)
 
     # -- connection management ------------------------------------------
@@ -254,7 +310,8 @@ class BlueprintStore:
         " value BLOB NOT NULL,"
         " created REAL NOT NULL,"
         " last_used REAL NOT NULL,"
-        " size INTEGER NOT NULL)"
+        " size INTEGER NOT NULL,"
+        " codec TEXT NOT NULL DEFAULT 'raw')"
     )
 
     def _ensure_schema(self, conn: sqlite3.Connection) -> None:
@@ -265,9 +322,27 @@ class BlueprintStore:
         row = conn.execute(
             "SELECT value FROM meta WHERE key = 'schema_version'"
         ).fetchone()
-        if row is None or row[0] != str(SCHEMA_VERSION):
-            # Old layouts differ in columns, so a row-wise DELETE is not
-            # enough — drop and recreate under the current DDL.
+        if row is not None and row[0] == "2":
+            # v2 -> v3 is a pure column addition: existing entries were all
+            # written raw, which is exactly what the column default says,
+            # so the warm store survives the upgrade instead of being
+            # wiped.  (New writes compress; rows decode per their codec.)
+            conn.execute(self._ENTRIES_DDL)
+            try:
+                conn.execute(
+                    "ALTER TABLE entries"
+                    " ADD COLUMN codec TEXT NOT NULL DEFAULT 'raw'"
+                )
+            except sqlite3.OperationalError:
+                pass  # entries table was absent; the DDL above made a v3 one
+            conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+        elif row is None or row[0] != str(SCHEMA_VERSION):
+            # Other layouts differ structurally, so a row-wise DELETE is
+            # not enough — drop and recreate under the current DDL.
             conn.execute("DROP TABLE IF EXISTS entries")
             conn.execute(self._ENTRIES_DDL)
             conn.execute(
@@ -288,13 +363,14 @@ class BlueprintStore:
         if conn is not None:
             try:
                 rows = conn.execute(
-                    "SELECT key, value FROM entries WHERE kind = ?", (kind,)
+                    "SELECT key, value, codec FROM entries WHERE kind = ?",
+                    (kind,),
                 ).fetchall()
             except sqlite3.DatabaseError:
                 rows = []
-            for key, blob in rows:
+            for key, blob, codec in rows:
                 try:
-                    table.setdefault(key, pickle.loads(blob))
+                    table.setdefault(key, _decode_value(blob, codec))
                 except Exception:
                     continue
         self._hydrated.add(kind)
@@ -333,13 +409,14 @@ class BlueprintStore:
             if conn is not None:
                 try:
                     row = conn.execute(
-                        "SELECT value FROM entries WHERE key = ?", (key,)
+                        "SELECT value, codec FROM entries WHERE key = ?",
+                        (key,),
                     ).fetchone()
                 except sqlite3.DatabaseError:
                     row = None
             if row is not None:
                 try:
-                    value = pickle.loads(row[0])
+                    value = _decode_value(row[0], row[1])
                 except Exception:
                     value = self._SENTINEL
             if value is not self._SENTINEL:
@@ -403,6 +480,10 @@ class BlueprintStore:
             # parent owns those writes) and start clean.
             self._connect()
             return
+        # Resolve (and validate) the codec once per flush, *before* the
+        # batch is swapped out — a bad knob then raises with the pending
+        # writes still queued instead of dropping them.
+        codec = store_codec()
         pending, self._pending = self._pending, []
         touched, self._touch_pending = self._touch_pending, set()
         conn = self._connect()
@@ -412,7 +493,14 @@ class BlueprintStore:
         rows = []
         for key, kind, substrate, payload, pickled in pending:
             blob = payload if pickled else pickle.dumps(payload)
-            rows.append((key, kind, substrate, blob, now, now, len(blob)))
+            # Compression happens here, at flush — off the experiment's
+            # critical path, after any eager snapshot pickling.  The size
+            # column records the *encoded* bytes: what the file actually
+            # stores and what eviction budgets against.
+            blob, row_codec = _encode_blob(kind, blob, codec)
+            rows.append(
+                (key, kind, substrate, blob, now, now, len(blob), row_codec)
+            )
         # Stamps for entries read (not rewritten) this run; rows written
         # above carry a fresh last_used already.
         stamps = [(now, key) for key in touched.difference(r[0] for r in rows)]
@@ -420,7 +508,7 @@ class BlueprintStore:
             if rows:
                 conn.executemany(
                     "INSERT OR REPLACE INTO entries VALUES"
-                    " (?, ?, ?, ?, ?, ?, ?)",
+                    " (?, ?, ?, ?, ?, ?, ?, ?)",
                     rows,
                 )
             if stamps:
@@ -549,9 +637,10 @@ class BlueprintStore:
         """Per-(substrate, kind) entry counts and byte sizes, plus totals.
 
         ``by_kind`` maps ``"substrate/kind"`` to ``{"entries", "bytes"}``
-        (payload bytes, the quantity eviction budgets against);
-        ``payload_bytes`` is their sum and ``bytes`` the on-disk file size
-        (payload + sqlite overhead).
+        (stored payload bytes — post-codec, so compressed kinds report
+        their compressed footprint, the quantity eviction budgets
+        against); ``payload_bytes`` is their sum and ``bytes`` the
+        on-disk file size (payload + sqlite overhead).
         """
         counts: dict[str, dict[str, int]] = {}
         total = 0

@@ -110,7 +110,7 @@ def _run_image_tasks(
     current_provider: str | None = None
     for provider, field_name in run_tasks:
         if provider != current_provider:
-            corpus = _image_corpus(
+            corpus = image_corpus(
                 dataset, provider, train_size, test_size, seed
             )
             corpora = {corpus.train[0].setting: corpus}
@@ -122,10 +122,15 @@ def _run_image_tasks(
     return results
 
 
-def _image_corpus(
+def image_corpus(
     dataset: str, provider: str, train_size: int, test_size: int, seed: int
 ):
-    """Generate (or load from the persistent store) one image corpus."""
+    """Generate (or load from the persistent store) one image corpus.
+
+    Shared by the table drivers here and the blueprint-check ablation
+    (:mod:`repro.harness.ablations`), so both hit the same corpus-store
+    entries.
+    """
     generate = (
         finance.generate_corpus
         if dataset == "finance"
@@ -172,7 +177,7 @@ def _worker_image_corpus(
     """Per-worker corpus memo (see ``_worker_m2h_corpora`` for the exact
     guarantee): consecutive field tasks of one provider hit the memo
     instead of regenerating the seeded corpus."""
-    return _image_corpus(dataset, provider, train_size, test_size, seed)
+    return image_corpus(dataset, provider, train_size, test_size, seed)
 
 
 def run_m2h_images_experiment(

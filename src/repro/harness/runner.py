@@ -281,6 +281,34 @@ def evaluate_method(
     return results
 
 
+def evaluate_on_corpus(
+    method: Method,
+    corpus: Corpus,
+    provider: str,
+    field: str,
+    setting_label: str,
+) -> FieldResult:
+    """Train + score against one corpus under an explicit setting label.
+
+    The single-corpus sibling of :func:`evaluate_method`, for experiments
+    whose "setting" axis is not the contemporary/longitudinal split —
+    the robustness bench labels results by training seed, the ablation
+    bench by mechanism.  Goes through :func:`train_method`, so the
+    program store and ``REPRO_CACHE`` gating apply exactly as in the
+    table experiments.
+    """
+    training = corpus.training_examples(field)
+    try:
+        extractor = train_method(method, training)
+    except SynthesisFailure:
+        return FieldResult(method.name, provider, field, setting_label, None)
+    with active_timer().stage("score"):
+        score = score_corpus(corpus.test_pairs(field, extractor))
+    return FieldResult(
+        method.name, provider, field, setting_label, score, extractor
+    )
+
+
 def _transportable(result: FieldResult) -> FieldResult:
     """Make a result safe to ship across a process boundary.
 
@@ -572,6 +600,154 @@ def _worker_m2h_corpora(
     rework, not a global once-per-provider guarantee.  ``maxsize=2`` keeps
     a worker's footprint near what the serial loop holds."""
     return m2h_corpora(provider, train_size, test_size, seed)
+
+
+def m2h_contemporary_corpus(
+    provider: str, train_size: int, test_size: int, seed: int
+) -> Corpus:
+    """One contemporary-setting M2H corpus through the corpus cache.
+
+    The robustness and ablation drivers test on the contemporary period
+    only, so they cache a single corpus per configuration instead of the
+    contemporary+longitudinal pair :func:`m2h_corpora` holds.  The
+    ``setting`` parameter keeps these entries distinct from the pair
+    entries in the store.
+    """
+    return cached_corpora(
+        "m2h",
+        lambda: m2h.generate_corpus(
+            provider,
+            train_size=train_size,
+            test_size=test_size,
+            setting=CONTEMPORARY,
+            seed=seed,
+        ),
+        provider=provider,
+        train_size=train_size,
+        test_size=test_size,
+        seed=seed,
+        setting=CONTEMPORARY,
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 7.4 robustness: the training-set-choice experiment
+# ----------------------------------------------------------------------
+# The paper's robustness check reruns field tasks with differently seeded
+# training sets and reports the per-field F1 spread.  Providers/fields
+# follow benchmarks/bench_robustness.py; the seed axis becomes part of the
+# task graph so `repro-shard` can split the experiment like any other.
+ROBUSTNESS_PROVIDERS: tuple[str, ...] = ("getthere", "delta", "airasia")
+ROBUSTNESS_FIELDS: tuple[str, ...] = ("DTime", "DIata", "RId")
+ROBUSTNESS_SEEDS: tuple[int, ...] = (0, 1, 2, 3)
+ROBUSTNESS_SETTINGS: tuple[str, ...] = tuple(
+    f"s{seed}" for seed in ROBUSTNESS_SEEDS
+)
+
+
+def robustness_tasks(
+    providers: Sequence[str] = ROBUSTNESS_PROVIDERS,
+    fields: Sequence[str] = ROBUSTNESS_FIELDS,
+    seeds: Sequence[int] = ROBUSTNESS_SEEDS,
+) -> list[tuple[str, str, str]]:
+    """Canonical robustness task graph: ``(provider, field, seed label)``.
+
+    Enumerated provider-major, then seed, then field, so the tasks
+    sharing one ``(provider, seed)`` corpus stay consecutive — the serial
+    loop (and a shard's task list) keeps a single live corpus, like the
+    table experiments.
+    """
+    return [
+        (provider, field, f"s{seed}")
+        for provider in providers
+        for seed in seeds
+        for field in fields
+    ]
+
+
+def run_m2h_robustness_experiment(
+    methods: Sequence[Method] | None = None,
+    providers: Sequence[str] = ROBUSTNESS_PROVIDERS,
+    fields: Sequence[str] = ROBUSTNESS_FIELDS,
+    seeds: Sequence[int] = ROBUSTNESS_SEEDS,
+    train_size: int | None = None,
+    test_size: int | None = None,
+    seed: int = 0,
+    shard=None,
+    tasks: Sequence[tuple[str, str, str]] | None = None,
+) -> list[FieldResult]:
+    """Section 7.4 training-set robustness as a first-class experiment.
+
+    Each task ``(provider, field, "sK")`` trains on a corpus seeded with
+    ``seed + K`` and scores on that corpus's contemporary test split; the
+    seed label lands in ``FieldResult.setting`` so the per-seed scores of
+    one field task stay distinguishable.  Routed through the harness
+    layer — :func:`cached_corpora`, :func:`train_method`, the
+    ``REPRO_JOBS`` pool and ``REPRO_SHARD`` — unlike the pre-PR-4 bench,
+    which generated corpora and called ``method.train`` directly and
+    therefore bypassed every cache.
+    """
+    methods = list(methods) if methods is not None else [LrsynHtmlMethod()]
+    train_size = train_size if train_size is not None else scaled(
+        133, minimum=10
+    )
+    test_size = test_size if test_size is not None else scaled(
+        267, minimum=20
+    )
+    run_tasks = resolve_tasks(
+        robustness_tasks(providers, fields, seeds), shard, tasks
+    )
+    if jobs() > 1:
+        return run_field_jobs(
+            _robustness_field_task,
+            [
+                (list(methods), provider, field, label,
+                 train_size, test_size, seed)
+                for provider, field, label in run_tasks
+            ],
+        )
+    results: list[FieldResult] = []
+    corpus: Corpus | None = None
+    current: tuple[str, int] | None = None
+    for provider, field, label in run_tasks:
+        corpus_seed = seed + int(label[1:])
+        if (provider, corpus_seed) != current:
+            corpus = m2h_contemporary_corpus(
+                provider, train_size, test_size, corpus_seed
+            )
+            current = (provider, corpus_seed)
+        for method in methods:
+            results.append(
+                evaluate_on_corpus(method, corpus, provider, field, label)
+            )
+    return results
+
+
+def _robustness_field_task(
+    methods: Sequence[Method],
+    provider: str,
+    field: str,
+    label: str,
+    train_size: int,
+    test_size: int,
+    seed: int,
+) -> list[FieldResult]:
+    """One parallel unit of :func:`run_m2h_robustness_experiment`."""
+    corpus = _worker_robustness_corpus(
+        provider, train_size, test_size, seed + int(label[1:])
+    )
+    return [
+        evaluate_on_corpus(method, corpus, provider, field, label)
+        for method in methods
+    ]
+
+
+@functools.lru_cache(maxsize=2)
+def _worker_robustness_corpus(
+    provider: str, train_size: int, test_size: int, corpus_seed: int
+) -> Corpus:
+    """Per-worker corpus memo (see ``_worker_m2h_corpora``)."""
+    return m2h_contemporary_corpus(provider, train_size, test_size, corpus_seed)
 
 
 def average(values: Sequence[float]) -> float:

@@ -1,16 +1,25 @@
-"""Sharded experiment scheduler: split field tasks across machines.
+"""Sharded experiment scheduler: split experiment tasks across machines.
 
 PR 1 made the experiment drivers fan ``(provider, field)`` tasks over a
 process pool; this module splits the same task graph across *jobs or
 machines*.  A shard is ``REPRO_SHARD=i/N``: the canonical task list of an
-experiment (provider-major, fields in dataset order — exactly the order
-the unsharded serial loop visits) is partitioned deterministically, shard
-``i`` runs every task whose canonical position is ``i (mod N)``, and the
-per-shard partial results serialize to a file.  ``repro-shard merge``
-reassembles partials into the canonical order, so the merged result list —
-and every table rendered from it — is **byte-identical** to the unsharded
-run (enforced by ``tests/harness/test_sharding.py`` and
+experiment (exactly the order the unsharded serial loop visits) is
+partitioned deterministically, shard ``i`` runs every task whose
+canonical position is ``i (mod N)``, and the per-shard partial results
+serialize to a file.  ``repro-shard merge`` reassembles partials into the
+canonical order, so the merged result list — and every table rendered
+from it — is **byte-identical** to the unsharded run (enforced by
+``tests/harness/test_sharding.py`` and
 ``benchmarks/shard_equivalence_check.py``).
+
+Task keys are string tuples whose shape belongs to the experiment: the
+table experiments use ``(provider, field)``, the Section 7.4 robustness
+experiment ``(provider, field, seed-label)``, the ablation experiment
+``(mechanism, provider, field)``.  Each registered
+:class:`Experiment` carries a ``result_key`` projecting one driver result
+back onto its task — the scheduler itself never interprets key
+components, so every bench of the suite is schedulable through one
+registry.
 
 The decomposition mirrors the blocked partitioning of the PaLD
 shared-memory kernels (``repro.core.parallel``) one level up: tasks are
@@ -21,16 +30,22 @@ run shards twice and forks eight ways.
 
 Command line (installed as ``repro-shard``)::
 
-    repro-shard tasks --experiment m2h --shards 3
+    repro-shard tasks                                  # registry summary
+    repro-shard tasks --experiment robustness --shards 3
     REPRO_SCALE=0.15 repro-shard run --experiment m2h --shard 0/3 \
         --out part0.pkl
     repro-shard merge part*.pkl --out merged.pkl --table table.txt \
         --timing-json benchmarks/results/BENCH_synthesis_speed.json
+    repro-shard retry part0.pkl part2.pkl --out residual.pkl
     repro-shard diff merged.pkl baseline.pkl
 
 Partial files embed a digest of (experiment, task graph, seed, scale), so
 merging partials from incompatible configurations fails loudly instead of
-producing a quietly wrong table.
+producing a quietly wrong table.  When a shard job dies, ``merge``
+reports the exact residual task set and the ``retry`` command that reruns
+it: ``retry`` reads the surviving partials, runs precisely the missing
+tasks, and writes a residual partial that completes the merge — still
+byte-identical to an unsharded run.
 """
 
 from __future__ import annotations
@@ -46,7 +61,9 @@ from typing import Any, Callable, Sequence
 
 PARTIAL_SCHEMA = 1
 
-TaskKey = tuple[str, str]
+# A canonical task: a tuple of strings whose length/meaning is fixed per
+# experiment (see the module docstring).
+TaskKey = tuple[str, ...]
 
 
 # ----------------------------------------------------------------------
@@ -126,9 +143,20 @@ def assign(tasks: Sequence[TaskKey], shard: ShardSpec) -> list[TaskKey]:
 # ----------------------------------------------------------------------
 # Experiment registry (task graphs + method sets + drivers)
 # ----------------------------------------------------------------------
+def field_task_key(result) -> TaskKey:
+    """The default result→task projection: ``(provider, field)``."""
+    return (result.provider, result.field)
+
+
 @dataclass(frozen=True)
 class Experiment:
-    """One schedulable experiment: canonical task graph plus driver."""
+    """One schedulable experiment: canonical task graph plus driver.
+
+    ``result_key`` projects one driver result back onto the canonical
+    task that produced it — the scheduler groups, validates and reorders
+    results purely through this projection, so experiments are free to
+    shape their task keys however their axes demand.
+    """
 
     name: str
     settings: Callable[[], tuple[str, ...]]
@@ -136,6 +164,7 @@ class Experiment:
     methods: Callable[[], list]
     # run(methods, tasks, seed) -> list[FieldResult] in task order
     run: Callable[[list, list[TaskKey], int], list]
+    result_key: Callable[[Any], TaskKey] = field_task_key
 
 
 def _m2h_tasks() -> list[TaskKey]:
@@ -214,6 +243,64 @@ def _m2h_images_run(methods: list, tasks: list[TaskKey], seed: int) -> list:
     return run_m2h_images_experiment(methods, seed=seed, tasks=tasks)
 
 
+def _robustness_settings() -> tuple[str, ...]:
+    from repro.harness.runner import ROBUSTNESS_SETTINGS
+
+    return ROBUSTNESS_SETTINGS
+
+
+def _robustness_tasks() -> list[TaskKey]:
+    from repro.harness.runner import robustness_tasks
+
+    return robustness_tasks()
+
+
+def _robustness_methods() -> list:
+    from repro.harness.runner import LrsynHtmlMethod
+
+    return [LrsynHtmlMethod()]
+
+
+def _robustness_run(methods: list, tasks: list[TaskKey], seed: int) -> list:
+    from repro.harness.runner import run_m2h_robustness_experiment
+
+    return run_m2h_robustness_experiment(methods, seed=seed, tasks=tasks)
+
+
+def _robustness_result_key(result) -> TaskKey:
+    # The seed label travels in the setting slot.
+    return (result.provider, result.field, result.setting)
+
+
+def _ablation_settings() -> tuple[str, ...]:
+    from repro.harness.ablations import ABLATION_SETTINGS
+
+    return ABLATION_SETTINGS
+
+
+def _ablation_tasks() -> list[TaskKey]:
+    from repro.harness.ablations import ablation_tasks
+
+    return ablation_tasks()
+
+
+def _ablation_methods() -> list:
+    from repro.harness.ablations import ablation_methods
+
+    return ablation_methods()
+
+
+def _ablation_run(methods: list, tasks: list[TaskKey], seed: int) -> list:
+    from repro.harness.ablations import run_ablations_experiment
+
+    return run_ablations_experiment(seed=seed, tasks=tasks)
+
+
+def _ablation_result_key(result) -> TaskKey:
+    # The mechanism travels in the setting slot.
+    return (result.setting, result.provider, result.field)
+
+
 EXPERIMENTS: dict[str, Experiment] = {
     "m2h": Experiment(
         "m2h", _m2h_settings, _m2h_tasks, _m2h_methods, _m2h_run
@@ -225,6 +312,14 @@ EXPERIMENTS: dict[str, Experiment] = {
     "m2h_images": Experiment(
         "m2h_images", _image_settings, _m2h_images_tasks, _image_methods,
         _m2h_images_run,
+    ),
+    "robustness": Experiment(
+        "robustness", _robustness_settings, _robustness_tasks,
+        _robustness_methods, _robustness_run, _robustness_result_key,
+    ),
+    "ablations": Experiment(
+        "ablations", _ablation_settings, _ablation_tasks,
+        _ablation_methods, _ablation_run, _ablation_result_key,
     ),
 }
 
@@ -240,6 +335,20 @@ def get_experiment(name: str) -> Experiment:
 # ----------------------------------------------------------------------
 # Partial results: run one shard, serialize, merge
 # ----------------------------------------------------------------------
+class IncompleteMergeError(ValueError):
+    """Partials do not cover the task graph (a shard job died or is lost).
+
+    Carries the exact residual: ``missing`` is the uncovered tasks in
+    canonical order — precisely what ``repro-shard retry`` (or
+    :func:`retry_partial`) will rerun.
+    """
+
+    def __init__(self, missing: list[TaskKey]):
+        self.missing = missing
+        super().__init__(
+            f"incomplete merge: {len(missing)} tasks unowned"
+            f" (first missing: {missing[0]})"
+        )
 def _graph_digest(
     experiment: str,
     graph: Sequence[TaskKey],
@@ -260,8 +369,10 @@ def _graph_digest(
     hasher.update(f"schema={PARTIAL_SCHEMA}|{experiment}".encode())
     hasher.update(f"|seed={seed}|scale={scale!r}".encode())
     hasher.update(("|methods=" + ",".join(method_names)).encode())
-    for provider, field in graph:
-        hasher.update(f"|{provider}:{field}".encode())
+    for task in graph:
+        # ":".join keeps 2-tuple digests byte-compatible with the
+        # pre-generalization format.
+        hasher.update(("|" + ":".join(task)).encode())
     return hasher.hexdigest()
 
 
@@ -302,7 +413,7 @@ def run_shard(
 
     grouped: dict[TaskKey, list] = {task: [] for task in owned}
     for result in results:
-        key = (result.provider, result.field)
+        key = registered.result_key(result)
         if key not in grouped:
             raise RuntimeError(
                 f"driver returned result for unowned task {key}"
@@ -362,16 +473,8 @@ def merge_partials(partials: Sequence[dict]) -> dict:
     """
     if not partials:
         raise ValueError("nothing to merge: no partials given")
+    _check_same_split(partials)
     first = partials[0]
-    for partial in partials[1:]:
-        if partial["graph_digest"] != first["graph_digest"]:
-            raise ValueError(
-                "incompatible partials: "
-                f"{partial['experiment']} seed={partial['seed']} "
-                f"scale={partial['scale']} vs "
-                f"{first['experiment']} seed={first['seed']} "
-                f"scale={first['scale']}"
-            )
     graph = [tuple(task) for task in first["graph"]]
     owner_of: dict[TaskKey, int] = {}
     for position, partial in enumerate(partials):
@@ -398,10 +501,7 @@ def merge_partials(partials: Sequence[dict]) -> dict:
             )
     missing = [task for task in graph if task not in owner_of]
     if missing:
-        raise ValueError(
-            f"incomplete merge: {len(missing)} tasks unowned"
-            f" (first missing: {missing[0]})"
-        )
+        raise IncompleteMergeError(missing)
     stray = sorted(set(owner_of) - set(graph))
     if stray:
         raise ValueError(f"partials own tasks outside the graph: {stray[:3]}")
@@ -430,6 +530,99 @@ def merge_partials(partials: Sequence[dict]) -> dict:
         "wall_seconds": wall,
         "timer": timer.snapshot(),
     }
+
+
+def _check_same_split(partials: Sequence[dict]) -> None:
+    """Every partial must share the first one's graph digest."""
+    first = partials[0]
+    for partial in partials[1:]:
+        if partial["graph_digest"] != first["graph_digest"]:
+            raise ValueError(
+                "incompatible partials: "
+                f"{partial['experiment']} seed={partial['seed']} "
+                f"scale={partial['scale']} vs "
+                f"{first['experiment']} seed={first['seed']} "
+                f"scale={first['scale']}"
+            )
+
+
+def residual_tasks(partials: Sequence[dict]) -> list[TaskKey]:
+    """The canonical tasks no surviving partial owns (empty = complete)."""
+    if not partials:
+        raise ValueError("no partials: cannot derive the task graph")
+    _check_same_split(partials)
+    owned = {
+        tuple(task) for partial in partials for task in partial["owned"]
+    }
+    return [
+        task
+        for task in (tuple(t) for t in partials[0]["graph"])
+        if task not in owned
+    ]
+
+
+def retry_partial(
+    partials: Sequence[dict],
+    *,
+    methods: list | None = None,
+    run: Callable[[list, list[TaskKey], int], list] | None = None,
+) -> dict:
+    """Rerun exactly the tasks missing from ``partials``.
+
+    The requeue half of the retry story: surviving partials define the
+    split (experiment, graph, seed, scale), the residual task set is
+    everything they do not cover, and the returned partial owns precisely
+    that set — so ``merge_partials([*partials, residual])`` completes to
+    the byte-identical full table.  The keyword overrides mirror
+    :func:`run_shard` (test-sized graphs).
+
+    Raises :class:`ValueError` when there is nothing to retry, when the
+    current ``REPRO_SCALE`` does not match the partials' recorded scale,
+    or when the rerun's configuration no longer digests to the same split
+    (e.g. the method set changed since the original run).
+    """
+    from repro.harness.runner import scale
+
+    missing = residual_tasks(partials)
+    if not missing:
+        raise ValueError(
+            "nothing to retry: partials already cover the task graph"
+        )
+    first = partials[0]
+    if scale() != first["scale"]:
+        raise ValueError(
+            f"scale mismatch: partials ran at REPRO_SCALE={first['scale']}"
+            f" but the current scale is {scale()};"
+            " set REPRO_SCALE to match before retrying"
+        )
+    graph = [tuple(task) for task in first["graph"]]
+    # Validate the digest *before* rerunning anything: the residual may
+    # be hours of synthesis, and an incompatible configuration (changed
+    # method set / task graph) is knowable up front.
+    if methods is None:
+        methods = get_experiment(first["experiment"]).methods()
+    expected = _graph_digest(
+        first["experiment"],
+        graph,
+        first["seed"],
+        scale(),
+        [method.name for method in methods],
+    )
+    if expected != first["graph_digest"]:
+        raise ValueError(
+            "cannot retry: the experiment configuration (method set /"
+            " task graph) changed since the original shards ran — the"
+            " residual would not merge"
+        )
+    return run_shard(
+        first["experiment"],
+        FULL_RUN,
+        seed=first["seed"],
+        methods=methods,
+        graph=graph,
+        owned=missing,
+        run=run,
+    )
 
 
 def flat_results(partial: dict) -> list:
@@ -545,7 +738,10 @@ def main(argv: list[str] | None = None) -> int:
         "tasks", help="list the canonical task graph and shard assignment"
     )
     tasks_cmd.add_argument(
-        "--experiment", required=True, choices=sorted(EXPERIMENTS)
+        "--experiment",
+        default=None,
+        choices=sorted(EXPERIMENTS),
+        help="experiment to list (default: summarize every experiment)",
     )
     tasks_cmd.add_argument("--shards", type=int, default=1)
 
@@ -577,6 +773,16 @@ def main(argv: list[str] | None = None) -> int:
         help="append the merged wall-clock/stage timings to this trajectory",
     )
 
+    retry_cmd = sub.add_parser(
+        "retry",
+        help=(
+            "rerun the tasks missing from the surviving partials and"
+            " write a residual partial that completes the merge"
+        ),
+    )
+    retry_cmd.add_argument("partials", nargs="+")
+    retry_cmd.add_argument("--out", required=True)
+
     diff_cmd = sub.add_parser(
         "diff", help="compare two partial/merged files for score identity"
     )
@@ -586,14 +792,22 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "tasks":
+        if args.experiment is None:
+            for name, experiment in EXPERIMENTS.items():
+                graph = experiment.tasks()
+                names = ", ".join(
+                    dict.fromkeys(m.name for m in experiment.methods())
+                )
+                print(f"{name}: {len(graph)} tasks (methods: {names})")
+            return 0
         experiment = get_experiment(args.experiment)
         graph = experiment.tasks()
         shards = ShardSpec(0, max(1, args.shards)).count
         print(f"{args.experiment}: {len(graph)} tasks, {shards} shard(s)")
-        for position, (provider, field) in enumerate(graph):
+        for position, task in enumerate(graph):
             print(
                 f"  [{position:3d}] shard {position % shards}/{shards}"
-                f"  {provider} / {field}"
+                f"  {' / '.join(task)}"
             )
         return 0
 
@@ -611,8 +825,40 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "merge":
-        partials = [load_partial(path) for path in args.partials]
-        merged = merge_partials(partials)
+        partials, skipped = _load_partials_tolerant(args.partials)
+        if not partials:
+            print("MERGE FAILED: no readable partials")
+            return 1
+        loaded_paths = [path for path, _ in partials]
+        try:
+            merged = merge_partials([partial for _, partial in partials])
+        except IncompleteMergeError as err:
+            print(
+                f"MERGE INCOMPLETE: {len(err.missing)} task(s) have no"
+                " surviving partial"
+                + (f" ({len(skipped)} file(s) unreadable)" if skipped else "")
+            )
+            for task in err.missing:
+                print(f"  missing: {' / '.join(task)}")
+            survivors = " ".join(loaded_paths)
+            # The recipe must be copy-pasteable: pin the recorded scale
+            # (retry refuses a mismatch) and carry the merge options.
+            scale_prefix = f"REPRO_SCALE={partials[0][1]['scale']} "
+            merge_options = ""
+            if args.table:
+                merge_options += f" --table {args.table}"
+            if args.timing_json:
+                merge_options += f" --timing-json {args.timing_json}"
+            print("rerun exactly the residual tasks with:")
+            print(
+                f"  {scale_prefix}repro-shard retry {survivors}"
+                " --out residual.pkl"
+            )
+            print(
+                f"  repro-shard merge {survivors} residual.pkl"
+                f" --out {args.out}{merge_options}"
+            )
+            return 1
         save_partial(args.out, merged)
         if args.table:
             Path(args.table).write_text(render_tables(merged) + "\n")
@@ -634,6 +880,42 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if args.command == "retry":
+        partials, skipped = _load_partials_tolerant(args.partials)
+        if not partials:
+            print("RETRY FAILED: no readable partials to derive the split")
+            return 1
+        try:
+            missing = residual_tasks([partial for _, partial in partials])
+        except ValueError as err:
+            print(f"RETRY FAILED: {err}")
+            return 1
+        if not missing:
+            print(
+                "nothing to retry: the given partials already cover the"
+                " task graph"
+            )
+            return 0
+        first = partials[0][1]
+        print(
+            f"retrying {len(missing)} task(s) of {first['experiment']}"
+            f" (seed={first['seed']}, scale={first['scale']})"
+            + (f"; {len(skipped)} partial file(s) unreadable" if skipped else "")
+        )
+        try:
+            residual = retry_partial([partial for _, partial in partials])
+        except ValueError as err:
+            print(f"RETRY FAILED: {err}")
+            return 1
+        save_partial(args.out, residual)
+        count = sum(len(r) for r in residual["results"].values())
+        print(
+            f"residual partial: {len(residual['owned'])} tasks,"
+            f" {count} results, {residual['wall_seconds']:.2f}s"
+            f" -> {args.out}"
+        )
+        return 0
+
     if args.command == "diff":
         left = load_partial(args.left)
         right = load_partial(args.right)
@@ -645,6 +927,26 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     return 2  # pragma: no cover - argparse enforces the choices
+
+
+def _load_partials_tolerant(
+    paths: Sequence[str],
+) -> tuple[list[tuple[str, dict]], list[str]]:
+    """Load every readable partial; report the rest instead of dying.
+
+    A crashed shard job leaves a missing or truncated file — exactly the
+    situation ``merge``/``retry`` must diagnose, so unreadable inputs
+    become warnings and the survivors carry on.
+    """
+    loaded: list[tuple[str, dict]] = []
+    skipped: list[str] = []
+    for path in paths:
+        try:
+            loaded.append((path, load_partial(path)))
+        except (OSError, ValueError, pickle.UnpicklingError, EOFError) as err:
+            print(f"WARNING: skipping unreadable partial {path}: {err}")
+            skipped.append(path)
+    return loaded, skipped
 
 
 if __name__ == "__main__":  # pragma: no cover

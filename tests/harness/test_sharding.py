@@ -251,6 +251,183 @@ class TestMergeValidation:
             sharding.merge_partials([left, right])
 
 
+class TestGeneralizedTaskGraphs:
+    def test_registry_lists_every_bench_experiment(self):
+        assert set(sharding.EXPERIMENTS) == {
+            "m2h", "finance", "m2h_images", "robustness", "ablations"
+        }
+
+    def test_robustness_graph_shape(self):
+        experiment = sharding.get_experiment("robustness")
+        tasks = experiment.tasks()
+        assert len(tasks) == 36  # 3 providers x 3 fields x 4 seeds
+        assert all(len(task) == 3 for task in tasks)
+        labels = {task[2] for task in tasks}
+        assert labels == {"s0", "s1", "s2", "s3"}
+        # (provider, seed) groups stay consecutive: one live corpus at a
+        # time, exactly like the provider-major table loops.
+        groups = [(task[0], task[2]) for task in tasks]
+        seen, current = set(), None
+        for group in groups:
+            if group != current:
+                assert group not in seen
+                seen.add(group)
+                current = group
+
+    def test_ablations_graph_shape(self):
+        experiment = sharding.get_experiment("ablations")
+        tasks = experiment.tasks()
+        assert all(len(task) == 3 for task in tasks)
+        assert {task[0] for task in tasks} == {"blueprint", "hierarchy"}
+
+    def test_assignment_is_shape_agnostic(self):
+        tasks = sharding.get_experiment("robustness").tasks()
+        shards = [
+            sharding.assign(tasks, sharding.ShardSpec(i, 3)) for i in range(3)
+        ]
+        flat = [task for shard in shards for task in shard]
+        assert sorted(flat) == sorted(tasks)
+
+    def test_result_key_projections(self):
+        from repro.harness.runner import FieldResult
+
+        result = FieldResult("LRSyn", "getthere", "DTime", "s2", None)
+        robustness = sharding.get_experiment("robustness")
+        assert robustness.result_key(result) == ("getthere", "DTime", "s2")
+        result = FieldResult("LRSyn[flat]", "getthere", "DTime", "hierarchy",
+                             None)
+        ablations = sharding.get_experiment("ablations")
+        assert ablations.result_key(result) == (
+            "hierarchy", "getthere", "DTime"
+        )
+        assert sharding.field_task_key(result) == ("getthere", "DTime")
+
+    def test_tasks_cli_lists_new_experiments(self, capsys):
+        assert sharding.main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        assert "robustness: 36 tasks" in out
+        assert "ablations: 3 tasks" in out
+        assert sharding.main(
+            ["tasks", "--experiment", "ablations", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "blueprint / SalesInvoice / RefNo" in out
+
+
+class TestRetry:
+    def test_incomplete_merge_reports_exact_residual(self):
+        partials = [make_partial(sharding.ShardSpec(i, 2)) for i in range(2)]
+        with pytest.raises(sharding.IncompleteMergeError) as excinfo:
+            sharding.merge_partials([partials[0]])
+        # The residual is exactly the dropped shard's owned set, in
+        # canonical order.
+        assert excinfo.value.missing == partials[1]["owned"]
+        assert sharding.residual_tasks([partials[0]]) == partials[1]["owned"]
+
+    def test_retry_completes_to_identical_scores(self, baseline_scores):
+        partials = [make_partial(sharding.ShardSpec(i, 3)) for i in range(3)]
+        survivors = [partials[0], partials[2]]
+        residual = sharding.retry_partial(
+            survivors, methods=[LrsynHtmlMethod()], run=small_run
+        )
+        assert residual["owned"] == partials[1]["owned"]
+        merged = sharding.merge_partials([*survivors, residual])
+        scores = sharding.canonical_scores(sharding.flat_results(merged))
+        assert scores == baseline_scores
+
+    def test_retry_with_full_coverage_refuses(self):
+        partials = [make_partial(sharding.ShardSpec(i, 2)) for i in range(2)]
+        assert sharding.residual_tasks(partials) == []
+        with pytest.raises(ValueError, match="nothing to retry"):
+            sharding.retry_partial(partials)
+
+    def test_retry_rejects_scale_mismatch(self, monkeypatch):
+        partial = make_partial(sharding.ShardSpec(0, 2))
+        monkeypatch.setenv(
+            "REPRO_SCALE", str(float(partial["scale"]) * 2 + 0.01)
+        )
+        with pytest.raises(ValueError, match="scale mismatch"):
+            sharding.retry_partial(
+                [partial], methods=[LrsynHtmlMethod()], run=small_run
+            )
+
+    def test_retry_rejects_mixed_splits(self):
+        left = make_partial(sharding.ShardSpec(0, 2))
+        right = dict(
+            make_partial(sharding.ShardSpec(1, 2)), graph_digest="0" * 64
+        )
+        with pytest.raises(ValueError, match="incompatible"):
+            sharding.residual_tasks([left, right])
+
+
+class TestCliRetryWorkflow:
+    """End-to-end CLI lifecycle on a registered toy experiment."""
+
+    @pytest.fixture()
+    def toy(self, monkeypatch):
+        experiment = sharding.Experiment(
+            "toy",
+            settings=lambda: ("contemporary",),
+            tasks=graph,
+            methods=lambda: [LrsynHtmlMethod()],
+            run=small_run,
+        )
+        monkeypatch.setitem(sharding.EXPERIMENTS, "toy", experiment)
+        return experiment
+
+    def test_merge_reports_residual_and_retry_completes(
+        self, toy, tmp_path, capsys
+    ):
+        part0 = tmp_path / "part0.pkl"
+        merged = tmp_path / "merged.pkl"
+        residual = tmp_path / "residual.pkl"
+        baseline = tmp_path / "baseline.pkl"
+        assert sharding.main(
+            ["run", "--experiment", "toy", "--shard", "0/2",
+             "--out", str(part0)]
+        ) == 0
+        assert sharding.main(
+            ["run", "--experiment", "toy", "--out", str(baseline)]
+        ) == 0
+        # Shard 1 never ran (its file is also unreadable garbage): merge
+        # must fail with the exact residual and the retry recipe.
+        broken = tmp_path / "part1.pkl"
+        broken.write_bytes(b"truncated")
+        code = sharding.main(
+            ["merge", str(part0), str(broken), "--out", str(merged)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "MERGE INCOMPLETE" in out
+        assert "repro-shard retry" in out
+        missing = sharding.assign(graph(), sharding.ShardSpec(1, 2))
+        for task in missing:
+            assert " / ".join(task) in out
+        # Retry runs exactly the residual; the completed merge is
+        # byte-identical to the unsharded baseline.
+        assert sharding.main(
+            ["retry", str(part0), "--out", str(residual)]
+        ) == 0
+        assert sharding.load_partial(residual)["owned"] == missing
+        assert sharding.main(
+            ["merge", str(part0), str(residual), "--out", str(merged)]
+        ) == 0
+        assert sharding.main(
+            ["diff", str(merged), str(baseline)]
+        ) == 0
+
+    def test_retry_with_nothing_missing(self, toy, tmp_path, capsys):
+        part = tmp_path / "full.pkl"
+        assert sharding.main(
+            ["run", "--experiment", "toy", "--out", str(part)]
+        ) == 0
+        assert sharding.main(
+            ["retry", str(part), "--out", str(tmp_path / "r.pkl")]
+        ) == 0
+        assert "nothing to retry" in capsys.readouterr().out
+        assert not (tmp_path / "r.pkl").exists()
+
+
 class TestEnvIntegration:
     def test_experiment_driver_honours_repro_shard(
         self, monkeypatch, baseline_scores
