@@ -107,11 +107,7 @@ def timed_experiment(name: str, experiment, *args, **kwargs):
     # (flush_corpus_store ends by flushing the shared store itself.)
     flush_corpus_store()
     snapshot = timer.snapshot()
-    record_synthesis_speed(
-        SPEED_TRAJECTORY,
-        name,
-        wall,
-        snapshot,
+    context = dict(
         scale=scale(),
         jobs=jobs(),
         # The experiment drivers honour REPRO_SHARD, so a sharded bench
@@ -122,6 +118,13 @@ def timed_experiment(name: str, experiment, *args, **kwargs):
         cache_enabled=cache_enabled(),
         store_enabled=store_enabled(),
     )
+    # A packed-plan run (REPRO_SHARD_PLAN) owns a cost-balanced task set
+    # rather than the round-robin slice; record which plan shaped it so
+    # the trajectory stays interpretable.
+    plan_file = os.environ.get("REPRO_SHARD_PLAN", "").strip()
+    if plan_file:
+        context["plan"] = plan_file
+    record_synthesis_speed(SPEED_TRAJECTORY, name, wall, snapshot, **context)
     emit(
         f"timings_{name}",
         timings_table(snapshot, title=f"Stage timings: {name} ({wall:.2f}s)"),

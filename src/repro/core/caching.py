@@ -59,12 +59,24 @@ def cache_enabled() -> bool:
 
 
 class StageTimer:
-    """Accumulates wall-clock seconds and call counts per pipeline stage."""
+    """Accumulates wall-clock seconds and call counts per pipeline stage.
+
+    Besides the named pipeline stages, the timer records **per-task**
+    wall-clock: each experiment driver wraps one canonical task (see
+    :mod:`repro.harness.sharding`) in :meth:`task`, and the resulting
+    ``tasks`` table — keyed by the task's string tuple — is what the
+    predictive shard packer (:mod:`repro.harness.costmodel`) learns
+    from.  Task keys ride through :meth:`snapshot`/:meth:`merge` like
+    every other measurement, so per-task timings survive process
+    fan-out and shard merges (task sets are disjoint across workers and
+    partials, so summing on merge is exact).
+    """
 
     def __init__(self) -> None:
         self.seconds: dict[str, float] = {}
         self.calls: dict[str, int] = {}
         self.counters: dict[str, int] = {}
+        self.tasks: dict[tuple[str, ...], float] = {}
 
     @contextmanager
     def stage(self, name: str):
@@ -76,6 +88,17 @@ class StageTimer:
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
             self.calls[name] = self.calls.get(name, 0) + 1
 
+    @contextmanager
+    def task(self, key: tuple[str, ...]):
+        """Record wall-clock against one canonical experiment task."""
+        key = tuple(key)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.tasks[key] = self.tasks.get(key, 0.0) + elapsed
+
     def count(self, name: str, increment: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + increment
 
@@ -85,6 +108,7 @@ class StageTimer:
             "seconds": dict(self.seconds),
             "calls": dict(self.calls),
             "counters": dict(self.counters),
+            "tasks": dict(self.tasks),
         }
 
     def merge(self, snapshot: dict[str, dict]) -> None:
@@ -95,11 +119,15 @@ class StageTimer:
             self.calls[name] = self.calls.get(name, 0) + value
         for name, value in snapshot.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0) + value
+        for key, value in snapshot.get("tasks", {}).items():
+            key = tuple(key)
+            self.tasks[key] = self.tasks.get(key, 0.0) + value
 
     def reset(self) -> None:
         self.seconds.clear()
         self.calls.clear()
         self.counters.clear()
+        self.tasks.clear()
 
 
 GLOBAL_TIMER = StageTimer()

@@ -15,6 +15,15 @@ expensive computations survive across processes and runs:
 * landmark-candidate lists, keyed by the ordered example fingerprints
   (side-effect-free domains only).
 
+Two harness-level kinds ride the same machinery: ``program``/``corpus``
+entries (see :mod:`repro.harness.runner`) make warm runs skip training
+and generation, and ``timing`` entries (per-task wall-clock EWMAs keyed
+by experiment, ``REPRO_SCALE`` and canonical task — see
+:mod:`repro.harness.costmodel`) feed the predictive shard packer.
+Timing keys deliberately include the experiment configuration: they
+describe *work*, not document content, and they are advisory — they
+shape shard assignment, never a score.
+
 Every key additionally folds in the *substrate* (``html`` / ``images``),
 the store :data:`SCHEMA_VERSION` and :data:`BLUEPRINT_ALGO_VERSION` — bump
 the latter whenever a blueprint, distance or landmark-scoring algorithm

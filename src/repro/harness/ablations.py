@@ -33,6 +33,7 @@ import dataclasses
 import functools
 from typing import Sequence
 
+from repro.core.caching import active_timer
 from repro.datasets.base import Corpus
 from repro.harness.images import IMAGE_CONFIG, LrsynImageMethod, image_corpus
 from repro.harness.runner import (
@@ -148,7 +149,9 @@ def run_ablations_experiment(
     shrinking); default sizes are per mechanism.
     """
     del methods  # the variant set is the experiment definition
-    run_tasks = resolve_tasks(ablation_tasks(), shard, tasks)
+    run_tasks = resolve_tasks(
+        ablation_tasks(), shard, tasks, experiment="ablations"
+    )
     if jobs() > 1:
         return run_field_jobs(
             _ablation_field_task,
@@ -161,14 +164,17 @@ def run_ablations_experiment(
     corpus: Corpus | None = None
     current: tuple[str, str] | None = None
     for mechanism, provider, field in run_tasks:
-        sizes = _mechanism_sizes(mechanism, train_size, test_size)
-        if (mechanism, provider) != current:
-            corpus = _ablation_corpus(mechanism, provider, *sizes, seed)
-            current = (mechanism, provider)
-        for method in _mechanism_variants(mechanism):
-            results.append(
-                evaluate_on_corpus(method, corpus, provider, field, mechanism)
-            )
+        with active_timer().task((mechanism, provider, field)):
+            sizes = _mechanism_sizes(mechanism, train_size, test_size)
+            if (mechanism, provider) != current:
+                corpus = _ablation_corpus(mechanism, provider, *sizes, seed)
+                current = (mechanism, provider)
+            for method in _mechanism_variants(mechanism):
+                results.append(
+                    evaluate_on_corpus(
+                        method, corpus, provider, field, mechanism
+                    )
+                )
     return results
 
 
@@ -181,12 +187,13 @@ def _ablation_field_task(
     seed: int,
 ) -> list[FieldResult]:
     """One parallel unit of :func:`run_ablations_experiment`."""
-    sizes = _mechanism_sizes(mechanism, train_size, test_size)
-    corpus = _worker_ablation_corpus(mechanism, provider, *sizes, seed)
-    return [
-        evaluate_on_corpus(method, corpus, provider, field, mechanism)
-        for method in _mechanism_variants(mechanism)
-    ]
+    with active_timer().task((mechanism, provider, field)):
+        sizes = _mechanism_sizes(mechanism, train_size, test_size)
+        corpus = _worker_ablation_corpus(mechanism, provider, *sizes, seed)
+        return [
+            evaluate_on_corpus(method, corpus, provider, field, mechanism)
+            for method in _mechanism_variants(mechanism)
+        ]
 
 
 @functools.lru_cache(maxsize=2)

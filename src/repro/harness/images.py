@@ -6,6 +6,7 @@ import functools
 from typing import Sequence
 
 from repro.baselines.afr import train_afr
+from repro.core.caching import active_timer
 from repro.core.document import TrainingExample
 from repro.core.dsl import Extractor, ProgramExtractor
 from repro.core.synthesis import LrsynConfig, lrsyn
@@ -82,6 +83,7 @@ def run_finance_experiment(
         ],
         shard,
         tasks,
+        experiment="finance",
     )
     return _run_image_tasks("finance", methods, run_tasks,
                             train_size, test_size, seed)
@@ -109,16 +111,19 @@ def _run_image_tasks(
     corpora: dict | None = None
     current_provider: str | None = None
     for provider, field_name in run_tasks:
-        if provider != current_provider:
-            corpus = image_corpus(
-                dataset, provider, train_size, test_size, seed
-            )
-            corpora = {corpus.train[0].setting: corpus}
-            current_provider = provider
-        for method in methods:
-            results.extend(
-                evaluate_method(method, corpora, provider, field_name)
-            )
+        # The timing window includes the corpus build the task triggers
+        # (same attribution as the HTML serial loop).
+        with active_timer().task((provider, field_name)):
+            if provider != current_provider:
+                corpus = image_corpus(
+                    dataset, provider, train_size, test_size, seed
+                )
+                corpora = {corpus.train[0].setting: corpus}
+                current_provider = provider
+            for method in methods:
+                results.extend(
+                    evaluate_method(method, corpora, provider, field_name)
+                )
     return results
 
 
@@ -158,15 +163,16 @@ def _image_field_task(
     seed: int,
 ) -> list[FieldResult]:
     """One parallel unit of the image experiments (seeded corpus rebuild)."""
-    corpus = _worker_image_corpus(
-        dataset, provider, train_size, test_size, seed
-    )
-    corpora = {corpus.train[0].setting: corpus}
-    results: list[FieldResult] = []
-    for method in methods:
-        results.extend(
-            evaluate_method(method, corpora, provider, field_name)
+    with active_timer().task((provider, field_name)):
+        corpus = _worker_image_corpus(
+            dataset, provider, train_size, test_size, seed
         )
+        corpora = {corpus.train[0].setting: corpus}
+        results: list[FieldResult] = []
+        for method in methods:
+            results.extend(
+                evaluate_method(method, corpora, provider, field_name)
+            )
     return results
 
 
@@ -199,6 +205,7 @@ def run_m2h_images_experiment(
         ],
         shard,
         tasks,
+        experiment="m2h_images",
     )
     return _run_image_tasks("m2h_images", methods, run_tasks,
                             train_size, test_size, seed)

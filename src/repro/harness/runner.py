@@ -37,6 +37,15 @@ Environment knobs
     into byte-identical tables (:mod:`repro.harness.sharding` and the
     ``repro-shard`` CLI).  Default: the whole graph.
 
+``REPRO_SHARD_PLAN``
+    Path to a ``repro-shard plan`` JSON file.  With it set, the shard
+    from ``REPRO_SHARD=i/N`` owns the plan's i-th *packed* task set —
+    balanced by predicted wall-clock (:mod:`repro.harness.costmodel`) —
+    instead of the round-robin slice.  The plan must match the
+    experiment, shard count and canonical task graph, or the run fails
+    loudly.  Assignment only: merged results stay byte-identical to
+    round-robin and unsharded runs.
+
 ``REPRO_STORE`` / ``REPRO_STORE_DIR``
     The persistent content-hash store (:mod:`repro.core.store`): L2 under
     the ``DistanceCache`` plus program- and corpus-level entries, so
@@ -493,22 +502,33 @@ def m2h_corpora(
 
 
 def resolve_tasks(
-    all_tasks: list[tuple[str, str]],
+    all_tasks: list[tuple[str, ...]],
     shard,
-    tasks: Sequence[tuple[str, str]] | None,
-) -> list[tuple[str, str]]:
+    tasks: Sequence[tuple[str, ...]] | None,
+    experiment: str | None = None,
+) -> list[tuple[str, ...]]:
     """The task subset an experiment driver should run.
 
     ``tasks`` (an explicit list, used by the shard scheduler and its
     tests) wins outright; otherwise the canonical list is filtered down to
     the requested shard — ``shard=None`` reads ``REPRO_SHARD`` from the
-    environment, which defaults to the whole graph.
+    environment, which defaults to the whole graph.  With
+    ``REPRO_SHARD_PLAN`` set, the shard owns its packed-plan task set
+    instead of the round-robin slice; the plan must match ``experiment``
+    (the driver's registry name), the shard count, and the canonical
+    graph, otherwise the run fails loudly rather than quietly running a
+    different partition.
     """
     from repro.harness import sharding
 
     if tasks is not None:
         return [tuple(task) for task in tasks]
-    return sharding.assign(all_tasks, sharding.resolve_shard(shard))
+    all_tasks = [tuple(task) for task in all_tasks]
+    spec = sharding.resolve_shard(shard)
+    plan = sharding.env_plan()
+    if plan is not None:
+        return sharding.plan_shard_tasks(plan, spec, all_tasks, experiment)
+    return sharding.assign(all_tasks, spec)
 
 
 def run_m2h_experiment(
@@ -541,6 +561,7 @@ def run_m2h_experiment(
         ],
         shard,
         tasks,
+        experiment="m2h",
     )
     if jobs() > 1:
         return run_field_jobs(
@@ -556,12 +577,18 @@ def run_m2h_experiment(
     for provider, field in run_tasks:
         # Round-robin assignment keeps a provider's tasks consecutive, so
         # one live corpora set at a time suffices — same footprint as the
-        # provider-major loop this replaces.
-        if provider != current_provider:
-            corpora = m2h_corpora(provider, train_size, test_size, seed)
-            current_provider = provider
-        for method in methods:
-            results.extend(evaluate_method(method, corpora, provider, field))
+        # provider-major loop this replaces.  The per-task timing window
+        # includes the corpus build its task triggers: a shard that draws
+        # tasks from k providers really does pay k builds, and the cost
+        # model should see that.
+        with active_timer().task((provider, field)):
+            if provider != current_provider:
+                corpora = m2h_corpora(provider, train_size, test_size, seed)
+                current_provider = provider
+            for method in methods:
+                results.extend(
+                    evaluate_method(method, corpora, provider, field)
+                )
     return results
 
 
@@ -579,10 +606,11 @@ def _m2h_field_task(
     and therefore identical to the parent's) so only small, picklable
     arguments cross the process boundary.
     """
-    corpora = _worker_m2h_corpora(provider, train_size, test_size, seed)
-    results: list[FieldResult] = []
-    for method in methods:
-        results.extend(evaluate_method(method, corpora, provider, field))
+    with active_timer().task((provider, field)):
+        corpora = _worker_m2h_corpora(provider, train_size, test_size, seed)
+        results: list[FieldResult] = []
+        for method in methods:
+            results.extend(evaluate_method(method, corpora, provider, field))
     return results
 
 
@@ -695,7 +723,8 @@ def run_m2h_robustness_experiment(
         267, minimum=20
     )
     run_tasks = resolve_tasks(
-        robustness_tasks(providers, fields, seeds), shard, tasks
+        robustness_tasks(providers, fields, seeds), shard, tasks,
+        experiment="robustness",
     )
     if jobs() > 1:
         return run_field_jobs(
@@ -710,16 +739,17 @@ def run_m2h_robustness_experiment(
     corpus: Corpus | None = None
     current: tuple[str, int] | None = None
     for provider, field, label in run_tasks:
-        corpus_seed = seed + int(label[1:])
-        if (provider, corpus_seed) != current:
-            corpus = m2h_contemporary_corpus(
-                provider, train_size, test_size, corpus_seed
-            )
-            current = (provider, corpus_seed)
-        for method in methods:
-            results.append(
-                evaluate_on_corpus(method, corpus, provider, field, label)
-            )
+        with active_timer().task((provider, field, label)):
+            corpus_seed = seed + int(label[1:])
+            if (provider, corpus_seed) != current:
+                corpus = m2h_contemporary_corpus(
+                    provider, train_size, test_size, corpus_seed
+                )
+                current = (provider, corpus_seed)
+            for method in methods:
+                results.append(
+                    evaluate_on_corpus(method, corpus, provider, field, label)
+                )
     return results
 
 
@@ -733,13 +763,14 @@ def _robustness_field_task(
     seed: int,
 ) -> list[FieldResult]:
     """One parallel unit of :func:`run_m2h_robustness_experiment`."""
-    corpus = _worker_robustness_corpus(
-        provider, train_size, test_size, seed + int(label[1:])
-    )
-    return [
-        evaluate_on_corpus(method, corpus, provider, field, label)
-        for method in methods
-    ]
+    with active_timer().task((provider, field, label)):
+        corpus = _worker_robustness_corpus(
+            provider, train_size, test_size, seed + int(label[1:])
+        )
+        return [
+            evaluate_on_corpus(method, corpus, provider, field, label)
+            for method in methods
+        ]
 
 
 @functools.lru_cache(maxsize=2)

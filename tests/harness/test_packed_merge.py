@@ -1,0 +1,370 @@
+"""Packed plans must merge byte-identical to round-robin and unsharded.
+
+Packing only relocates tasks between shards, so for every experiment the
+merged canonical score dump under a packed plan — balanced N=2/N=3
+splits and a deliberately skewed one — must equal both the unsharded
+baseline and the round-robin ``REPRO_SHARD`` merge, byte for byte.
+Covers the HTML table experiment (m2h), the Section 7.4 robustness
+experiment and the mechanism ablations at tiny scale, end to end (real
+pipelines, no mocks), plus the ``REPRO_SHARD_PLAN`` env path through the
+driver itself.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import m2h
+from repro.harness import sharding
+from repro.harness.ablations import ablation_methods, run_ablations_experiment
+from repro.harness.runner import (
+    LrsynHtmlMethod,
+    run_m2h_experiment,
+    run_m2h_robustness_experiment,
+)
+
+M2H_PROVIDERS = ["getthere", "delta"]
+M2H_TRAIN, M2H_TEST = 4, 6
+
+
+def m2h_graph():
+    return [
+        (provider, field)
+        for provider in M2H_PROVIDERS
+        for field in m2h.fields_for(provider)
+    ]
+
+
+def m2h_run(methods, tasks, seed):
+    return run_m2h_experiment(
+        methods,
+        providers=M2H_PROVIDERS,
+        train_size=M2H_TRAIN,
+        test_size=M2H_TEST,
+        seed=seed,
+        tasks=tasks,
+    )
+
+
+ROBUSTNESS_GRAPH = [
+    ("getthere", "DTime", "s0"),
+    ("getthere", "DTime", "s1"),
+    ("getthere", "RId", "s0"),
+    ("delta", "RId", "s0"),
+    ("delta", "RId", "s1"),
+]
+
+
+def robustness_run(methods, tasks, seed):
+    return run_m2h_robustness_experiment(
+        methods, train_size=3, test_size=4, seed=seed, tasks=tasks
+    )
+
+
+ABLATION_GRAPH = [
+    ("blueprint", "SalesInvoice", "RefNo"),
+    ("hierarchy", "getthere", "DTime"),
+    ("hierarchy", "getthere", "DDate"),
+]
+
+
+def ablation_run(methods, tasks, seed):
+    return run_ablations_experiment(
+        methods, train_size=3, test_size=4, seed=seed, tasks=tasks
+    )
+
+
+CASES = {
+    "m2h": (m2h_graph, lambda: [LrsynHtmlMethod()], m2h_run),
+    "robustness": (
+        lambda: ROBUSTNESS_GRAPH,
+        lambda: [LrsynHtmlMethod()],
+        robustness_run,
+    ),
+    "ablations": (
+        lambda: ABLATION_GRAPH,
+        ablation_methods,
+        ablation_run,
+    ),
+}
+
+
+def run_partial(experiment, graph, owned, index, count):
+    graph_fn, methods_fn, run = CASES[experiment]
+    del graph_fn
+    return sharding.run_shard(
+        experiment,
+        sharding.ShardSpec(index, count),
+        graph=graph,
+        owned=owned,
+        methods=methods_fn(),
+        run=run,
+    )
+
+
+def merged_scores(experiment, graph, shards):
+    partials = [
+        run_partial(experiment, graph, owned, index, len(shards))
+        for index, owned in enumerate(shards)
+    ]
+    merged = sharding.merge_partials(partials)
+    return sharding.canonical_scores(sharding.flat_results(merged))
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    scores = {}
+    for experiment, (graph_fn, _, _) in CASES.items():
+        graph = graph_fn()
+        scores[experiment] = merged_scores(experiment, graph, [graph])
+    return scores
+
+
+def packed_shards(graph, count, seed):
+    rng = random.Random(seed)
+    costs = [rng.uniform(0.5, 20.0) for _ in graph]
+    shards, _ = sharding.pack_tasks(graph, costs, count)
+    return shards
+
+
+def make_plan(graph, count, experiment="m2h", seed=1234):
+    shards = packed_shards(graph, count, seed=seed)
+    cost_of = {task: 1.0 for task in graph}
+    return sharding.PackedPlan(
+        experiment=experiment,
+        seed=0,
+        scale=0.15,
+        graph=list(graph),
+        shards=shards,
+        predicted=sharding.shard_loads(shards, cost_of),
+        round_robin_predicted=sharding.shard_loads(
+            sharding.round_robin_split(graph, count), cost_of
+        ),
+    )
+
+
+class TestPackedMergeEquivalence:
+    @pytest.mark.parametrize("experiment", sorted(CASES))
+    @pytest.mark.parametrize("count", [2, 3])
+    def test_packed_merge_matches_unsharded(
+        self, experiment, count, baselines
+    ):
+        graph = CASES[experiment][0]()
+        shards = packed_shards(graph, count, seed=count * 7919)
+        assert shards != [
+            sharding.assign(graph, sharding.ShardSpec(i, count))
+            for i in range(count)
+        ] or count >= len(graph)
+        scores = merged_scores(experiment, graph, shards)
+        assert scores == baselines[experiment]
+
+    @pytest.mark.parametrize("experiment", sorted(CASES))
+    def test_skewed_plan_matches_unsharded(self, experiment, baselines):
+        # Worst-case imbalance: one shard owns everything but one task.
+        graph = CASES[experiment][0]()
+        shards = [graph[:-1], graph[-1:]]
+        scores = merged_scores(experiment, graph, shards)
+        assert scores == baselines[experiment]
+
+    def test_packed_matches_round_robin_merge(self, baselines):
+        graph = m2h_graph()
+        round_robin = [
+            sharding.assign(graph, sharding.ShardSpec(i, 2))
+            for i in range(2)
+        ]
+        assert merged_scores("m2h", graph, round_robin) == (
+            baselines["m2h"]
+        )
+
+
+class TestShardPlanEnv:
+    def build_plan(self, graph, count):
+        return make_plan(graph, count)
+
+    def test_driver_honours_repro_shard_plan(
+        self, tmp_path, monkeypatch, baselines
+    ):
+        """REPRO_SHARD_PLAN + REPRO_SHARD through the driver itself (no
+        explicit task lists) must partition the graph exactly as the
+        plan says, and the union of the shards' results must equal the
+        full run's."""
+        graph = m2h_graph()
+        plan = self.build_plan(graph, 2)
+        path = tmp_path / "plan.json"
+        sharding.save_plan(path, plan)
+        monkeypatch.setenv("REPRO_SHARD_PLAN", str(path))
+        shards_results = []
+        for index in range(2):
+            monkeypatch.setenv("REPRO_SHARD", f"{index}/2")
+            results = m2h_run([LrsynHtmlMethod()], None, 0)
+            owned = {
+                (r.provider, r.field) for r in results
+            }
+            assert owned == set(plan.shards[index])
+            shards_results.append(results)
+        monkeypatch.delenv("REPRO_SHARD")
+        monkeypatch.delenv("REPRO_SHARD_PLAN")
+        full = m2h_run([LrsynHtmlMethod()], None, 0)
+        packed_rows = sorted(
+            sharding.canonical_scores(
+                [r for part in shards_results for r in part]
+            ).splitlines()
+        )
+        full_rows = sorted(
+            sharding.canonical_scores(full).splitlines()
+        )
+        assert packed_rows == full_rows
+
+    def test_driver_rejects_mismatched_plan(self, tmp_path, monkeypatch):
+        graph = m2h_graph()
+        plan = self.build_plan(graph, 2)
+        path = tmp_path / "plan.json"
+        sharding.save_plan(path, plan)
+        monkeypatch.setenv("REPRO_SHARD_PLAN", str(path))
+        monkeypatch.setenv("REPRO_SHARD", "0/3")
+        with pytest.raises(ValueError, match="shard plan has 2"):
+            m2h_run([LrsynHtmlMethod()], None, 0)
+        # A different graph (full provider set) must also refuse.
+        monkeypatch.setenv("REPRO_SHARD", "0/2")
+        with pytest.raises(ValueError, match="different task graph"):
+            run_m2h_experiment(
+                [LrsynHtmlMethod()],
+                train_size=M2H_TRAIN,
+                test_size=M2H_TEST,
+            )
+
+
+class TestCliPlanPackWorkflow:
+    """End-to-end plan -> run --plan -> merge and pack on a toy
+    experiment, including the timing feedback loop."""
+
+    @pytest.fixture()
+    def toy(self, monkeypatch):
+        experiment = sharding.Experiment(
+            "toy",
+            settings=lambda: ("contemporary",),
+            tasks=m2h_graph,
+            methods=lambda: [LrsynHtmlMethod()],
+            run=m2h_run,
+        )
+        monkeypatch.setitem(sharding.EXPERIMENTS, "toy", experiment)
+        return experiment
+
+    def test_plan_run_merge_identical_to_baseline(
+        self, toy, tmp_path, capsys
+    ):
+        plan_path = tmp_path / "plan.json"
+        assert sharding.main(
+            ["plan", "--experiment", "toy", "--shards", "2",
+             "--out", str(plan_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "predicted makespan" in out
+        plan = sharding.load_plan(plan_path)
+        assert sorted(
+            task for shard in plan.shards for task in shard
+        ) == sorted(m2h_graph())
+        parts = []
+        for index in range(2):
+            part = tmp_path / f"packed{index}.pkl"
+            assert sharding.main(
+                ["run", "--experiment", "toy", "--shard", f"{index}/2",
+                 "--plan", str(plan_path), "--out", str(part)]
+            ) == 0
+            assert (
+                sharding.load_partial(part)["owned"]
+                == plan.shards[index]
+            )
+            parts.append(str(part))
+        merged = tmp_path / "merged.pkl"
+        baseline = tmp_path / "baseline.pkl"
+        assert sharding.main(
+            ["merge", *parts, "--out", str(merged)]
+        ) == 0
+        assert sharding.main(
+            ["run", "--experiment", "toy", "--out", str(baseline)]
+        ) == 0
+        assert sharding.main(["diff", str(merged), str(baseline)]) == 0
+        # The packed runs fed the timing store: a fresh plan now
+        # predicts every task from exact history.
+        replan = tmp_path / "replan.json"
+        assert sharding.main(
+            ["plan", "--experiment", "toy", "--shards", "2",
+             "--out", str(replan)]
+        ) == 0
+        assert sharding.load_plan(replan).sources.get("exact") == len(
+            m2h_graph()
+        )
+        # ...and the observed report scores prediction error.
+        assert sharding.main(
+            ["plan", "--experiment", "toy", "--shards", "2",
+             "--plan", str(plan_path), "--observed", *parts,
+             "--report-out", str(tmp_path / "report.json")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "observed: packed shards" in out
+        import json as json_module
+
+        report = json_module.loads(
+            (tmp_path / "report.json").read_text()
+        )
+        assert report["observed"]["tasks_missing"] == 0
+        assert report["observed"]["prediction_error"]["per_shard"]
+
+    def test_pack_validates_plan_before_running(self, toy, tmp_path, capsys):
+        # A stale/mismatched --plan must fail up front, before any task
+        # runs — not at merge time.
+        wrong_count = tmp_path / "wrong-count.json"
+        sharding.save_plan(wrong_count, make_plan(m2h_graph(), 3, "toy"))
+        assert sharding.main(
+            ["pack", "--experiment", "toy", "--shards", "2",
+             "--plan", str(wrong_count), "--out", str(tmp_path / "m.pkl")]
+        ) == 1
+        assert "PACK FAILED" in capsys.readouterr().out
+        wrong_graph = tmp_path / "wrong-graph.json"
+        sharding.save_plan(
+            wrong_graph, make_plan(m2h_graph()[:-1], 2, "toy")
+        )
+        assert sharding.main(
+            ["pack", "--experiment", "toy", "--shards", "2",
+             "--plan", str(wrong_graph), "--out", str(tmp_path / "m.pkl")]
+        ) == 1
+        assert "different task graph" in capsys.readouterr().out
+        assert not (tmp_path / "m.pkl").exists()
+
+    def test_pack_runs_merges_and_reports(self, toy, tmp_path, capsys):
+        merged = tmp_path / "merged.pkl"
+        baseline = tmp_path / "baseline.pkl"
+        assert sharding.main(
+            ["pack", "--experiment", "toy", "--shards", "2",
+             "--out", str(merged),
+             "--plan-out", str(tmp_path / "plan.json"),
+             "--report-out", str(tmp_path / "report.json")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "round-robin counterfactual" in out
+        assert sharding.main(
+            ["run", "--experiment", "toy", "--out", str(baseline)]
+        ) == 0
+        assert sharding.main(["diff", str(merged), str(baseline)]) == 0
+        assert (tmp_path / "plan.json").exists()
+        assert (tmp_path / "report.json").exists()
+
+
+class TestTaskTimingsInPartials:
+    def test_partials_record_per_task_seconds(self):
+        graph = m2h_graph()
+        partial = run_partial("m2h", graph, graph[:3], 0, 2)
+        assert set(partial["task_seconds"]) == set(graph[:3])
+        assert all(
+            seconds > 0 for seconds in partial["task_seconds"].values()
+        )
+
+    def test_merge_unions_task_seconds(self):
+        graph = m2h_graph()
+        partials = [
+            run_partial("m2h", graph, graph[:2], 0, 2),
+            run_partial("m2h", graph, graph[2:], 1, 2),
+        ]
+        merged = sharding.merge_partials(partials)
+        assert set(merged["task_seconds"]) == set(graph)

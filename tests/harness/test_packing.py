@@ -1,0 +1,316 @@
+"""Properties of the predictive packer (LPT over cost predictions).
+
+Three invariants pin :func:`repro.harness.sharding.pack_tasks`:
+
+* **coverage** — every task lands in exactly one shard, for random
+  graphs, random positive cost vectors and every shard count;
+* **never worse than round-robin** — the packed plan's predicted
+  makespan is <= the round-robin split's under the same costs (the
+  packer falls back to round-robin when the greedy loses);
+* **near-optimal** — on the classic LPT adversarial fixtures the packed
+  makespan respects Graham's bound (checked against the lower bound
+  ``max(total/N, max-task)`` plus one max-task of slack).
+
+Determinism is checked the hard way: the same pack computed in two
+subprocesses pinned to different ``PYTHONHASHSEED`` values must emit
+byte-identical plan JSON.
+"""
+
+import json
+import math
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness import sharding
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def random_case(seed: int, max_tasks: int = 40):
+    rng = random.Random(seed)
+    count_tasks = rng.randint(1, max_tasks)
+    graph = []
+    provider = 0
+    while len(graph) < count_tasks:
+        provider += 1
+        for field in range(rng.randint(1, 5)):
+            graph.append((f"p{provider}", f"f{field}"))
+            if len(graph) == count_tasks:
+                break
+    costs = [rng.uniform(0.01, 30.0) for _ in graph]
+    return graph, costs
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("count", [1, 2, 3, 7])
+    def test_every_task_exactly_once(self, seed, count):
+        graph, costs = random_case(seed)
+        shards, _ = sharding.pack_tasks(graph, costs, count)
+        assert len(shards) == count
+        flat = [task for shard in shards for task in shard]
+        assert sorted(flat) == sorted(graph)
+        assert len(flat) == len(set(flat)) == len(graph)
+
+    def test_more_shards_than_tasks_leaves_empty_shards(self):
+        graph, costs = random_case(3, max_tasks=4)
+        shards, _ = sharding.pack_tasks(graph, costs, len(graph) + 5)
+        assert sum(1 for shard in shards if shard) <= len(graph)
+        flat = [task for shard in shards for task in shard]
+        assert sorted(flat) == sorted(graph)
+
+    def test_shards_preserve_canonical_relative_order(self):
+        # Within a shard, tasks appear in canonical order — the serial
+        # drivers' one-live-corpus memo depends on provider contiguity.
+        graph, costs = random_case(11)
+        position = {task: i for i, task in enumerate(graph)}
+        shards, _ = sharding.pack_tasks(graph, costs, 3)
+        for shard in shards:
+            positions = [position[task] for task in shard]
+            assert positions == sorted(positions)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="count"):
+            sharding.lpt_pack([("a", "b")], [1.0], 0)
+        with pytest.raises(ValueError, match="costs"):
+            sharding.lpt_pack([("a", "b")], [1.0, 2.0], 2)
+
+
+class TestMakespan:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("count", [2, 3, 5])
+    def test_never_worse_than_round_robin(self, seed, count):
+        graph, costs = random_case(seed)
+        cost_of = {task: cost for task, cost in zip(graph, costs)}
+        shards, _ = sharding.pack_tasks(graph, costs, count)
+        packed = max(sharding.shard_loads(shards, cost_of), default=0.0)
+        round_robin = max(
+            sharding.shard_loads(
+                [
+                    sharding.assign(graph, sharding.ShardSpec(i, count))
+                    for i in range(count)
+                ],
+                cost_of,
+            ),
+            default=0.0,
+        )
+        assert packed <= round_robin
+
+    # Classic LPT stress fixtures: Graham's worst case (2N+1 jobs of
+    # sizes 2N-1..N), near-ties, one dominating task, uniform costs.
+    ADVERSARIAL = [
+        ([5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 3.0], 2),
+        ([7.0, 7.0, 6.0, 6.0, 5.0, 5.0, 4.0, 4.0, 4.0], 3),
+        ([11.0, 11.0, 10.0, 10.0, 9.0, 9.0, 8.0, 8.0, 7.0, 7.0, 6.0, 6.0], 4),
+        ([100.0] + [1.0] * 30, 2),
+        ([1.0] * 17, 5),
+        ([3.0, 3.0, 2.0, 2.0, 2.0], 2),
+    ]
+
+    @pytest.mark.parametrize("costs,count", ADVERSARIAL)
+    def test_within_lpt_bound_on_adversarial_fixtures(self, costs, count):
+        graph = [("p", f"f{i}") for i in range(len(costs))]
+        cost_of = {task: cost for task, cost in zip(graph, costs)}
+        shards, _ = sharding.pack_tasks(graph, costs, count)
+        makespan = max(sharding.shard_loads(shards, cost_of))
+        # OPT is unknown, but OPT >= max(total/N, max task); Graham
+        # guarantees LPT <= 4/3 * OPT, so a fortiori the packed makespan
+        # must sit under 4/3 * lower-bound + one max task of slack.
+        lower_bound = max(sum(costs) / count, max(costs))
+        assert makespan <= (4.0 / 3.0) * lower_bound + max(costs)
+
+    def test_prefers_round_robin_when_greedy_loses(self):
+        # LPT on [5,5,3,3,3]x2 reaches makespan 11, but the canonical
+        # order [3,5,3,5,3] round-robins to 10 — the packer must notice.
+        graph = [
+            ("a", "f"), ("b", "f"), ("c", "f"), ("d", "f"), ("e", "f")
+        ]
+        costs = [3.0, 5.0, 3.0, 5.0, 3.0]
+        cost_of = {task: cost for task, cost in zip(graph, costs)}
+        shards, strategy = sharding.pack_tasks(graph, costs, 2)
+        assert strategy == "round-robin"
+        assert max(sharding.shard_loads(shards, cost_of)) == 10.0
+
+
+DETERMINISM_SNIPPET = """
+import json, random, sys
+sys.path.insert(0, {src!r})
+from repro.harness import sharding
+
+rng = random.Random(2026)
+graph = [(f"p{{i % 9}}", f"f{{i}}") for i in range(37)]
+costs = [round(rng.uniform(0.01, 20.0), 6) for _ in graph]
+shards, strategy = sharding.pack_tasks(graph, costs, 4)
+print(json.dumps({{"strategy": strategy, "shards": shards}}))
+"""
+
+
+class TestDeterminism:
+    def test_identical_across_hash_seeds(self):
+        snippet = DETERMINISM_SNIPPET.format(src=str(REPO / "src"))
+        outputs = []
+        for hash_seed in ("0", "1", "31337"):
+            result = subprocess.run(
+                [sys.executable, "-c", snippet],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            )
+            outputs.append(result.stdout)
+        assert outputs[0] == outputs[1] == outputs[2]
+        assert json.loads(outputs[0])["shards"]
+
+    def test_repeat_calls_identical(self):
+        graph, costs = random_case(5)
+        first = sharding.pack_tasks(graph, costs, 3)
+        second = sharding.pack_tasks(list(graph), list(costs), 3)
+        assert first == second
+
+    def test_equal_costs_tie_break_by_canonical_position(self):
+        graph = [("p", f"f{i}") for i in range(6)]
+        shards, _ = sharding.pack_tasks(graph, [1.0] * 6, 2)
+        # Uniform costs: heaviest-first degenerates to canonical order,
+        # alternating shards — exactly the round-robin split.
+        assert shards == [
+            sharding.assign(graph, sharding.ShardSpec(i, 2))
+            for i in range(2)
+        ]
+
+
+class TestPlanFiles:
+    def build(self, count=2):
+        graph = [("p", f"f{i}") for i in range(5)]
+        costs = [2.0, 9.0, 1.0, 4.0, 4.0]
+        cost_of = {task: cost for task, cost in zip(graph, costs)}
+        shards, strategy = sharding.pack_tasks(graph, costs, count)
+        round_robin = [
+            sharding.assign(graph, sharding.ShardSpec(i, count))
+            for i in range(count)
+        ]
+        return sharding.PackedPlan(
+            experiment="m2h",
+            seed=0,
+            scale=0.15,
+            graph=graph,
+            shards=shards,
+            predicted=sharding.shard_loads(shards, cost_of),
+            round_robin_predicted=sharding.shard_loads(
+                round_robin, cost_of
+            ),
+            strategy=strategy,
+            sources={"exact": 5},
+        )
+
+    def test_round_trip(self, tmp_path):
+        plan = self.build()
+        path = tmp_path / "plan.json"
+        sharding.save_plan(path, plan)
+        assert sharding.load_plan(path) == plan
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="cannot read"):
+            sharding.load_plan(path)
+        path.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(ValueError, match="schema"):
+            sharding.load_plan(path)
+        path.write_text(json.dumps({"schema": 1, "experiment": "m2h"}))
+        with pytest.raises(ValueError, match="malformed"):
+            sharding.load_plan(path)
+
+    def test_plan_shard_tasks_validation(self):
+        plan = self.build()
+        spec = sharding.ShardSpec(0, 2)
+        assert (
+            sharding.plan_shard_tasks(plan, spec, plan.graph, "m2h")
+            == plan.shards[0]
+        )
+        with pytest.raises(ValueError, match="experiment"):
+            sharding.plan_shard_tasks(plan, spec, plan.graph, "finance")
+        with pytest.raises(ValueError, match="shard"):
+            sharding.plan_shard_tasks(
+                plan, sharding.ShardSpec(0, 3), plan.graph, "m2h"
+            )
+        with pytest.raises(ValueError, match="different task graph"):
+            sharding.plan_shard_tasks(
+                plan, spec, plan.graph[:-1], "m2h"
+            )
+
+    def test_env_plan(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_PLAN", raising=False)
+        assert sharding.env_plan() is None
+        plan = self.build()
+        path = tmp_path / "plan.json"
+        sharding.save_plan(path, plan)
+        monkeypatch.setenv("REPRO_SHARD_PLAN", str(path))
+        assert sharding.env_plan() == plan
+        monkeypatch.setenv("REPRO_SHARD_PLAN", str(tmp_path / "nope.json"))
+        with pytest.raises(ValueError, match="cannot read"):
+            sharding.env_plan()
+
+    def test_balance_ratio(self):
+        assert sharding.balance_ratio([2.0, 2.0]) == 1.0
+        assert sharding.balance_ratio([4.0, 2.0]) == 2.0
+        assert math.isinf(sharding.balance_ratio([4.0, 0.0]))
+        assert sharding.balance_ratio([]) == 1.0
+
+    def test_plan_report_walls_for_identical_owned_sets(self):
+        # Two empty shards share an owned set; walls must still report
+        # per shard index, not collide on the owned-tuple key.
+        graph = [("p", "f0"), ("p", "f1")]
+        cost_of = {task: 1.0 for task in graph}
+        shards, _ = sharding.pack_tasks(graph, [1.0, 1.0], 4)
+        assert sum(1 for shard in shards if not shard) == 2
+        plan = sharding.PackedPlan(
+            experiment="m2h",
+            seed=0,
+            scale=0.15,
+            graph=graph,
+            shards=shards,
+            predicted=sharding.shard_loads(shards, cost_of),
+            round_robin_predicted=sharding.shard_loads(
+                sharding.round_robin_split(graph, 4), cost_of
+            ),
+        )
+        partials = [
+            {
+                "shard": (index, 4),
+                "owned": shard,
+                "task_seconds": {task: 1.0 for task in shard},
+                "wall_seconds": 10.0 + index,
+            }
+            for index, shard in enumerate(shards)
+        ]
+        report = sharding.plan_report(plan, partials)
+        assert report["observed"]["per_shard_wall_seconds"] == [
+            10.0, 11.0, 12.0, 13.0
+        ]
+
+    def test_plan_report_observed_counterfactual(self):
+        plan = self.build()
+        observed = {task: 1.0 + i for i, task in enumerate(plan.graph)}
+        partials = [
+            {
+                "owned": shard,
+                "task_seconds": {
+                    task: observed[task] for task in shard
+                },
+                "wall_seconds": sum(observed[task] for task in shard),
+            }
+            for shard in plan.shards
+        ]
+        report = sharding.plan_report(plan, partials)
+        packed = report["observed"]["per_shard_task_seconds"]
+        round_robin = report["observed"][
+            "round_robin_per_shard_task_seconds"
+        ]
+        assert sum(packed) == pytest.approx(sum(round_robin))
+        assert report["observed"]["tasks_missing"] == 0
+        # JSON-serializable end to end (CI uploads it).
+        json.dumps(report)

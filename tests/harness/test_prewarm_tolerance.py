@@ -1,0 +1,89 @@
+"""Unit tests for the prewarm gate's median/tolerance comparison.
+
+The CI shard-prewarming gate (``benchmarks/shard_prewarm_check.py``)
+used to flake on near-equal timings; the fix compares the median over
+>= 3 reruns against the cold wall-clock with a tolerance factor.  These
+tests pin the helper's exact semantics so a future edit cannot quietly
+re-tighten it back into a flake (or loosen it into a no-op).
+"""
+
+import pytest
+
+from benchmarks.shard_prewarm_check import (
+    MIN_REPS,
+    TOLERANCE,
+    rerun_beats_cold,
+    run_was_cold,
+)
+
+
+class TestRerunBeatsCold:
+    def test_clearly_faster_passes(self):
+        assert rerun_beats_cold(10.0, [2.0, 2.1, 1.9])
+
+    def test_clearly_slower_fails(self):
+        assert not rerun_beats_cold(2.0, [5.0, 5.2, 4.8])
+
+    def test_near_equal_within_tolerance_passes(self):
+        # The flake the fix targets: reruns statistically tied with the
+        # cold run (tiny shard, loaded runner) must not fail the build.
+        assert rerun_beats_cold(10.0, [10.2, 9.9, 10.4])
+
+    def test_just_outside_tolerance_fails(self):
+        assert not rerun_beats_cold(10.0, [11.5, 11.0, 11.2])
+
+    def test_median_discards_single_stall(self):
+        # One rerun hit a scheduler stall; the median must not care.
+        assert rerun_beats_cold(10.0, [2.0, 60.0, 2.2])
+
+    def test_median_not_fooled_by_single_fast_outlier(self):
+        assert not rerun_beats_cold(10.0, [2.0, 60.0, 59.0])
+
+    def test_even_rep_counts_use_midpoint(self):
+        # statistics.median of an even count is the midpoint; boundary
+        # exactly at cold * tolerance must fail (strict <).
+        assert not rerun_beats_cold(10.0, [10.0, 12.0])  # median 11.0
+        assert rerun_beats_cold(10.0, [8.0, 12.0])  # median 10.0 < 11.0
+
+    def test_boundary_is_strict(self):
+        assert not rerun_beats_cold(10.0, [10.0 * TOLERANCE] * 3)
+
+    def test_explicit_tolerance_override(self):
+        assert rerun_beats_cold(10.0, [14.0] * 3, tolerance=1.5)
+        assert not rerun_beats_cold(10.0, [14.0] * 3, tolerance=1.2)
+
+    def test_rejects_empty_reruns(self):
+        with pytest.raises(ValueError, match="no rerun timings"):
+            rerun_beats_cold(10.0, [])
+
+    @pytest.mark.parametrize("cold,tolerance", [(0.0, 1.1), (-1.0, 1.1),
+                                                (10.0, 0.0), (10.0, -2.0)])
+    def test_rejects_degenerate_inputs(self, cold, tolerance):
+        with pytest.raises(ValueError, match="invalid comparison"):
+            rerun_beats_cold(cold, [1.0], tolerance=tolerance)
+
+    def test_defaults_are_sane(self):
+        assert MIN_REPS >= 3
+        assert TOLERANCE >= 1.0  # a sub-1 tolerance would re-flake the gate
+
+
+class TestRunWasCold:
+    def test_cold_run(self):
+        partial = {
+            "timer": {"counters": {"store.program.miss": 4,
+                                   "store.program.hit": 0}}
+        }
+        assert run_was_cold(partial)
+
+    @pytest.mark.parametrize(
+        "counters",
+        [
+            {"store.program.miss": 4, "store.program.hit": 1},
+            {"store.program.miss": 0, "store.program.hit": 9},
+            {"store.program.miss": 0, "store.program.hit": 0},
+            {},
+        ],
+    )
+    def test_warm_or_unknown_runs(self, counters):
+        assert not run_was_cold({"timer": {"counters": counters}})
+        assert not run_was_cold({})
