@@ -61,14 +61,17 @@ def run_shard_subprocess(
     scale: str,
     out: pathlib.Path,
     hash_seed: int | None = None,
+    extra_env: dict[str, str] | None = None,
 ) -> None:
     """Run one ``repro-shard run`` in a child process (CI gate scripts).
 
     Shared by ``shard_equivalence_check`` (which pins a distinct
-    ``PYTHONHASHSEED`` per arm to emulate separate machines) and
-    ``shard_prewarm_check`` (which inherits the ambient one).
+    ``PYTHONHASHSEED`` per arm to emulate separate machines),
+    ``shard_prewarm_check`` (which inherits the ambient one) and
+    ``daemon_equivalence_check`` (which points arms at a shared store
+    daemon via ``extra_env``).
     """
-    env = {**os.environ, "REPRO_SCALE": scale}
+    env = {**os.environ, "REPRO_SCALE": scale, **(extra_env or {})}
     if hash_seed is not None:
         env["PYTHONHASHSEED"] = str(hash_seed)
     env["PYTHONPATH"] = str(REPO_ROOT / "src") + (

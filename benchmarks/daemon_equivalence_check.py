@@ -1,0 +1,209 @@
+"""CI daemon-equivalence gate: shards sharing one store daemon merge
+byte-identically to shards sharing a local sqlite store.
+
+Starts a real ``repro-store serve`` daemon in a subprocess, runs every
+shard ``i/N`` of the experiment against it (``REPRO_STORE_BACKEND=remote``
++ ``REPRO_STORE_URL``), merges the partials, and asserts the canonical
+score dump and rendered tables are byte-identical to the same shards run
+against a plain sqlite store directory.  Each shard arm gets a distinct
+``PYTHONHASHSEED``, the way real shard jobs land on different machines.
+
+A final rerun of shard ``0/N`` against the now-warm daemon must be served
+from it: the partial's timer counters must show program-store hits and no
+misses, and its scores must match the cold arm.
+
+Usage::
+
+    python benchmarks/daemon_equivalence_check.py [--scale 0.15]
+        [--shards 2] [--experiment m2h] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))  # for benchmarks.common
+
+from benchmarks.common import run_shard_subprocess  # noqa: E402
+
+TRAJECTORY = REPO / "benchmarks" / "results" / "BENCH_synthesis_speed.json"
+
+
+def start_daemon(directory: pathlib.Path, addr_file: pathlib.Path):
+    """Start ``repro-store serve`` in a subprocess; returns (proc, url)."""
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.store",
+            "--dir", str(directory),
+            "serve", "--port", "0", "--addr-file", str(addr_file),
+        ],
+        env=env,
+        cwd=REPO,
+    )
+    deadline = time.monotonic() + 30.0
+    while not addr_file.exists():
+        if proc.poll() is not None:
+            raise RuntimeError("store daemon exited before binding")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("store daemon did not publish its address")
+        time.sleep(0.05)
+    return proc, addr_file.read_text().strip()
+
+
+def run_arm(
+    experiment: str,
+    shards: int,
+    seed: int,
+    scale: str,
+    out_dir: pathlib.Path,
+    store_env: dict[str, str],
+    hash_seed: int,
+    label: str,
+) -> tuple[dict, float, int]:
+    """Run all N shards with one store configuration and merge them."""
+    from repro.harness import sharding
+
+    partials = []
+    wall = 0.0
+    for index in range(shards):
+        path = out_dir / f"{label}-{index}.pkl"
+        run_shard_subprocess(
+            experiment, f"{index}/{shards}", seed, scale, path,
+            hash_seed=hash_seed, extra_env=store_env,
+        )
+        hash_seed += 1
+        partial = sharding.load_partial(path)
+        wall += partial["wall_seconds"]
+        partials.append(partial)
+    return sharding.merge_partials(partials), wall, hash_seed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="0.15")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--experiment", default="m2h")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.harness import sharding
+    from repro.harness.reporting import record_synthesis_speed
+    from repro.store.remote import RemoteBackend
+
+    failures = 0
+    hash_seed = 1
+    with tempfile.TemporaryDirectory(prefix="daemon-eq-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        proc, url = start_daemon(tmp_path / "served", tmp_path / "addr")
+        print(
+            f"daemon-equivalence: {args.experiment} at scale {args.scale},"
+            f" {args.shards} shards sharing {url}"
+        )
+        try:
+            daemon_env = {
+                "REPRO_STORE": "1",
+                "REPRO_STORE_BACKEND": "remote",
+                "REPRO_STORE_URL": url,
+                "REPRO_STORE_DIR": str(tmp_path / "client"),
+            }
+            daemon_merged, daemon_wall, hash_seed = run_arm(
+                args.experiment, args.shards, args.seed, args.scale,
+                tmp_path, daemon_env, hash_seed, "daemon",
+            )
+
+            sqlite_env = {
+                "REPRO_STORE": "1",
+                "REPRO_STORE_BACKEND": "sqlite",
+                "REPRO_STORE_URL": "",
+                "REPRO_STORE_DIR": str(tmp_path / "local"),
+            }
+            sqlite_merged, sqlite_wall, hash_seed = run_arm(
+                args.experiment, args.shards, args.seed, args.scale,
+                tmp_path, sqlite_env, hash_seed, "sqlite",
+            )
+
+            daemon_scores = sharding.canonical_scores(
+                sharding.flat_results(daemon_merged)
+            )
+            sqlite_scores = sharding.canonical_scores(
+                sharding.flat_results(sqlite_merged)
+            )
+            scores_ok = daemon_scores == sqlite_scores
+            tables_ok = (
+                sharding.render_tables(daemon_merged)
+                == sharding.render_tables(sqlite_merged)
+            )
+            identical = scores_ok and tables_ok
+            failures += 0 if identical else 1
+            print(
+                f"  daemon arm {daemon_wall:.2f}s | sqlite arm"
+                f" {sqlite_wall:.2f}s | merged"
+                f" {'IDENTICAL' if identical else 'MISMATCH'}"
+                f" (scores={'ok' if scores_ok else 'DIFF'},"
+                f" tables={'ok' if tables_ok else 'DIFF'})"
+            )
+
+            # Warm rerun: shard 0 again, against the now-populated daemon.
+            warm_path = tmp_path / "daemon-warm.pkl"
+            run_shard_subprocess(
+                args.experiment, f"0/{args.shards}", args.seed, args.scale,
+                warm_path, hash_seed=hash_seed, extra_env=daemon_env,
+            )
+            hash_seed += 1
+            warm = sharding.load_partial(warm_path)
+            counters = warm["timer"].get("counters", {})
+            hits = counters.get("store.program.hit", 0)
+            misses = counters.get("store.program.miss", 0)
+            warm_ok = hits > 0 and misses == 0
+            failures += 0 if warm_ok else 1
+            print(
+                f"  warm daemon rerun: {warm['wall_seconds']:.2f}s,"
+                f" program hits {hits}, misses {misses}"
+                f" ({'ok' if warm_ok else 'NOT SERVED FROM DAEMON'})"
+            )
+
+            record_synthesis_speed(
+                TRAJECTORY,
+                f"daemon_equivalence_{args.experiment}",
+                daemon_wall,
+                daemon_merged["timer"],
+                scale=float(args.scale),
+                shards=args.shards,
+                identical=identical,
+                warm_hits=hits,
+            )
+        finally:
+            shutter = RemoteBackend(url)
+            try:
+                shutter.shutdown_server()
+            except Exception:
+                proc.kill()
+            shutter.close()
+            proc.wait(timeout=30)
+
+    if failures:
+        print("FAIL: daemon-backed shards diverged from the sqlite baseline")
+        return 1
+    print(
+        "PASS: daemon-backed merge is byte-identical to the sqlite merge,"
+        " and the warm rerun was served from the daemon"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,7 @@ the parent, which merges it — so timings survive process fan-out.
 
 Since PR 2 the per-run tables are the L1 of a two-level hierarchy: on an
 L1 miss the cache consults the persistent, content-hash-keyed
-:class:`repro.core.store.BlueprintStore` (L2) before computing, and
+:class:`repro.store.BlueprintStore` (L2) before computing, and
 publishes fresh results back to it — so blueprints, pairwise distances and
 landmark-candidate lists survive across ``lrsyn`` calls, benchmark runs
 and CI jobs.  Domains opt in by implementing
@@ -30,7 +30,8 @@ Environment knobs:
 * ``REPRO_CACHE`` — set to ``0`` to disable memoization (every lookup
   recomputes); default on.  Disabling L1 also bypasses L2, which is what
   the uncached-equivalence baselines expect.
-* ``REPRO_STORE`` / ``REPRO_STORE_DIR`` — see :mod:`repro.core.store`.
+* ``REPRO_STORE`` / ``REPRO_STORE_DIR`` (and backend selection via
+  ``REPRO_STORE_BACKEND`` / ``REPRO_STORE_URL``) — see :mod:`repro.store`.
 """
 
 from __future__ import annotations
@@ -40,7 +41,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Hashable, Sequence
 
-from repro.core.store import (
+from repro.store import (
     BlueprintStore,
     canonical_digest,
     entry_key,
@@ -174,7 +175,7 @@ class DistanceCache:
     reuse after garbage collection cannot alias entries.
 
     When the domain provides content fingerprints and the persistent
-    :class:`~repro.core.store.BlueprintStore` is enabled, the tables act
+    :class:`~repro.store.BlueprintStore` is enabled, the tables act
     as L1 over the store's L2: an L1 miss first consults the store before
     computing, and fresh computations are published back to it.
     """

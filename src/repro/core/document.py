@@ -119,7 +119,7 @@ class Domain(abc.ABC):
     pure_landmarks: bool = True
     symmetric_distance: bool = True
     # Substrate name used in persistent-store keys (one namespace per
-    # concrete document kind; see repro.core.store).  ``None`` opts the
+    # concrete document kind; see repro.store).  ``None`` opts the
     # domain out of the persistent store entirely — ad-hoc domains (tests,
     # experiments) must not share a key namespace, since two domains with
     # different metrics would alias each other's entries.
@@ -169,7 +169,7 @@ class Domain(abc.ABC):
 
         Two documents with identical content must fingerprint identically
         across processes and runs; the fingerprint keys the persistent
-        :class:`repro.core.store.BlueprintStore` (L2), so it must depend
+        :class:`repro.store.BlueprintStore` (L2), so it must depend
         only on document *content* — never on object identity, corpus
         position, or any ``REPRO_*`` runtime knob.  The default opts the
         domain out of the store entirely.

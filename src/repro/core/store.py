@@ -1,805 +1,22 @@
-"""Persistent content-hash blueprint store (the cache hierarchy's L2).
+"""Compatibility shim: ``repro.core.store`` is now :mod:`repro.store`.
 
-:class:`repro.core.caching.DistanceCache` memoizes blueprints and pairwise
-distances per ``lrsyn`` call (L1), so every benchmark run, CI job and
-repeated experiment still recomputes the same quantities from scratch.
-:class:`BlueprintStore` persists them on disk, keyed by **document content
-hash** (never by object identity, file path, or corpus position), so the
-expensive computations survive across processes and runs:
+The 800-line sqlite monolith that used to live here was split into the
+``repro.store`` package (backend protocol + sqlite/memory/remote
+implementations, daemon, GC, CLI).  Replacing this module's
+``sys.modules`` entry with the package keeps every historical import
+*and* every historical monkeypatch working: ``from repro.core.store
+import BlueprintStore`` resolves to the package front, and patching
+``repro.core.store.BLUEPRINT_ALGO_VERSION`` patches the one true module
+attribute that :func:`repro.store.entry_key` reads.
 
-* whole-document blueprints, keyed by the document fingerprint;
-* ROI blueprints, keyed by ``(document, annotation, landmark,
-  common-values)`` fingerprints;
-* pairwise blueprint distances, keyed by the canonical digests of the two
-  blueprint values (orientation-ordered for asymmetric metrics);
-* landmark-candidate lists, keyed by the ordered example fingerprints
-  (side-effect-free domains only).
-
-Two harness-level kinds ride the same machinery: ``program``/``corpus``
-entries (see :mod:`repro.harness.runner`) make warm runs skip training
-and generation, and ``timing`` entries (per-task wall-clock EWMAs keyed
-by experiment, ``REPRO_SCALE`` and canonical task — see
-:mod:`repro.harness.costmodel`) feed the predictive shard packer.
-Timing keys deliberately include the experiment configuration: they
-describe *work*, not document content, and they are advisory — they
-shape shard assignment, never a score.
-
-Every key additionally folds in the *substrate* (``html`` / ``images``),
-the store :data:`SCHEMA_VERSION` and :data:`BLUEPRINT_ALGO_VERSION` — bump
-the latter whenever a blueprint, distance or landmark-scoring algorithm
-changes so stale entries can never leak across incompatible code revisions.
-Keys are deliberately independent of ``REPRO_SCALE``, ``REPRO_JOBS`` and
-every other runtime knob: the same document must hit the same entry no
-matter how the experiment around it is configured.
-
-Storage is a single sqlite database under ``~/.cache/repro`` (override the
-directory with ``REPRO_STORE_DIR``; disable the store entirely with
-``REPRO_STORE=0``).  Writes are batched and flushed under an advisory file
-lock so concurrent CI jobs sharing one cache directory cannot corrupt the
-database.  Values round-trip through :mod:`pickle`, which preserves the
-exact ``frozenset`` / tuple blueprint values, so runs served from the store
-stay byte-identical to cold runs.
-
-Large-blob kinds (currently ``corpus``, which dominates ``payload_bytes``)
-are additionally **zlib-compressed** on disk: each row records its codec in
-a ``codec`` column, decompression happens transparently on read, and the
-``size`` column (the quantity LRU eviction budgets against) accounts the
-*compressed* bytes.  Pickled HTML/OCR corpora are highly redundant, so the
-corpus kind typically shrinks well over 2x.  ``REPRO_STORE_CODEC=raw``
-disables compression for new writes; mixed-codec stores read fine because
-every row is decoded per its own codec.
-
-The store is *bounded*: ``REPRO_STORE_MAX_MB`` sets a payload-size budget
-enforced by LRU eviction — every flush (and the explicit ``repro-store
-evict``) deletes least-recently-used entries until the budget holds, but
-never an entry the current process has read or written, so a running
-experiment's working set always survives its own eviction pass.  Eviction
-only ever discards *cache* state; evicted entries are recomputed on the
-next miss, with byte-identical results.
-
-The ``repro-store`` console script (see ``pyproject.toml``) exposes
-``stats`` (per-kind entry counts and byte sizes), ``evict`` and ``clear``
-subcommands for cache-directory hygiene.
+New code should import :mod:`repro.store` directly.
 """
 
-from __future__ import annotations
+import sys
 
-import atexit
-import contextlib
-import hashlib
-import os
-import pickle
-import sqlite3
-import time
-import zlib
-from pathlib import Path
-from typing import Any
+import repro.store as _store
 
-# Bump whenever a blueprint, blueprint-distance or landmark-scoring
-# algorithm changes observable output: the version is folded into every
-# entry key, so old entries become unreachable instead of silently serving
-# stale values.  (Covered by tests/core/test_store.py.)
-# 2: summary_distance greedy matching now iterates in sorted order (was
-#    hash-seed-dependent frozenset order for contended grams).
-BLUEPRINT_ALGO_VERSION = 2
+if __name__ == "__main__":  # pragma: no cover - `python -m repro.core.store`
+    raise SystemExit(_store.main())
 
-# Bump when the sqlite layout itself changes.  (2: last_used + size columns
-# for LRU eviction and per-kind byte accounting.  3: codec column for
-# transparent blob compression.)  v2 databases migrate in place — the
-# codec column is a pure addition, so existing uncompressed entries stay
-# readable; any other mismatch wipes the database on open rather than
-# attempting migration.
-SCHEMA_VERSION = 3
-
-_DB_NAME = "blueprints.sqlite"
-_LOCK_NAME = "store.lock"
-
-# Kinds whose values are large blobs (multi-MB pickled corpora): looked up
-# by key with point SELECTs instead of hydrating the whole kind into
-# memory — a warm run typically needs only its own configuration's rows.
-_LARGE_KINDS = frozenset({"corpus"})
-
-# Large-blob kinds are also the compressible ones: pickled corpora are
-# dominated by repeated markup/OCR text, where zlib routinely wins >2x.
-# Small blueprint/distance rows stay raw — per-row (de)compression would
-# cost more than the bytes it saves.
-_COMPRESSED_KINDS = _LARGE_KINDS
-
-_RAW_CODEC = "raw"
-_ZLIB_CODEC = "zlib"
-
-
-def store_codec() -> str:
-    """Codec for new large-kind writes (``REPRO_STORE_CODEC`` env knob).
-
-    ``zlib`` (the default) compresses the corpus kind's pickled payloads;
-    ``raw`` writes them uncompressed.  Reads are codec-tagged per row, so
-    the knob never affects the readability of existing entries.
-    """
-    raw = os.environ.get("REPRO_STORE_CODEC", _ZLIB_CODEC).strip() or _ZLIB_CODEC
-    if raw not in (_RAW_CODEC, _ZLIB_CODEC):
-        raise ValueError(
-            f"REPRO_STORE_CODEC must be 'zlib' or 'raw', got {raw!r}"
-        )
-    return raw
-
-
-def _encode_blob(kind: str, blob: bytes, codec: str) -> tuple[bytes, str]:
-    """Apply the configured ``codec`` to an already-pickled payload."""
-    if kind in _COMPRESSED_KINDS and codec == _ZLIB_CODEC:
-        return zlib.compress(blob, 6), _ZLIB_CODEC
-    return blob, _RAW_CODEC
-
-
-def _decode_value(blob: bytes, codec: str) -> Any:
-    """Invert :func:`_encode_blob` + the pickle layer, per the row's codec."""
-    if codec == _ZLIB_CODEC:
-        blob = zlib.decompress(blob)
-    return pickle.loads(blob)
-
-# Batched writes are flushed once this many puts accumulate (and at
-# interpreter exit / explicit flush()).  Large batches keep cold runs
-# cheap: one locked transaction amortizes over thousands of entries.
-FLUSH_THRESHOLD = 4096
-
-
-def store_enabled() -> bool:
-    """Whether the persistent store is active (``REPRO_STORE`` env knob)."""
-    return os.environ.get("REPRO_STORE", "1") != "0"
-
-
-def store_dir() -> Path:
-    """The cache directory (``REPRO_STORE_DIR``, default ``~/.cache/repro``)."""
-    override = os.environ.get("REPRO_STORE_DIR")
-    if override:
-        return Path(override)
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = Path(xdg) if xdg else Path.home() / ".cache"
-    return base / "repro"
-
-
-def store_budget_bytes() -> int | None:
-    """Size budget from ``REPRO_STORE_MAX_MB``, or ``None`` when unlimited.
-
-    The corpus kind alone adds MBs per configuration, so long-lived cache
-    directories (developer machines, CI ``actions/cache``) need a ceiling.
-    Unset, empty or non-positive values mean "no budget"; anything else is
-    megabytes (floats allowed: ``REPRO_STORE_MAX_MB=0.5``).
-    """
-    raw = os.environ.get("REPRO_STORE_MAX_MB", "").strip()
-    if not raw:
-        return None
-    try:
-        megabytes = float(raw)
-    except ValueError:
-        raise ValueError(
-            f"REPRO_STORE_MAX_MB must be a number (megabytes), got {raw!r}"
-        ) from None
-    if megabytes <= 0:
-        return None
-    return int(megabytes * 1024 * 1024)
-
-
-def canonical_digest(value: Any) -> str:
-    """Stable content digest of a blueprint-like value.
-
-    Set elements are serialized in sorted canonical order, so two equal
-    ``frozenset`` values always digest identically even though their
-    iteration order (and pickle) differs from run to run.
-    """
-    return hashlib.sha256(_canonical_bytes(value)).hexdigest()
-
-
-def _canonical_bytes(value: Any) -> bytes:
-    if isinstance(value, (frozenset, set)):
-        inner = sorted(_canonical_bytes(element) for element in value)
-        return b"{" + b",".join(inner) + b"}"
-    if isinstance(value, (tuple, list)):
-        return b"(" + b",".join(_canonical_bytes(el) for el in value) + b")"
-    if isinstance(value, str):
-        return b"s" + value.encode("utf-8")
-    if isinstance(value, bool) or value is None:
-        return repr(value).encode("ascii")
-    if isinstance(value, (int, float)):
-        return repr(value).encode("ascii")
-    # Last resort for exotic blueprint element types: repr is assumed
-    # deterministic for value-like objects.
-    return b"r" + repr(value).encode("utf-8")
-
-
-def entry_key(substrate: str, kind: str, *parts: str) -> str:
-    """Derive one store key from content-hash parts.
-
-    Folds in :data:`BLUEPRINT_ALGO_VERSION` so incompatible code revisions
-    can never share entries.  ``parts`` must already be content-derived
-    (fingerprints/digests) — nothing configuration-dependent belongs here.
-    """
-    hasher = hashlib.sha256()
-    hasher.update(f"algo={BLUEPRINT_ALGO_VERSION}".encode("ascii"))
-    hasher.update(f"|{substrate}|{kind}".encode("utf-8"))
-    for part in parts:
-        hasher.update(b"\x00")
-        hasher.update(part.encode("utf-8"))
-    return hasher.hexdigest()
-
-
-@contextlib.contextmanager
-def file_lock(path: Path):
-    """Advisory exclusive lock for cross-process write serialization.
-
-    Uses ``fcntl.flock`` where available (Linux/macOS — including every CI
-    runner this repo targets); on platforms without ``fcntl`` it degrades
-    to sqlite's own locking, which still guarantees consistency, just with
-    busy-retry instead of blocking.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    try:
-        import fcntl
-    except ImportError:  # pragma: no cover - non-POSIX fallback
-        yield
-        return
-    with open(path, "a+b") as handle:
-        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-        try:
-            yield
-        finally:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
-
-
-class BlueprintStore:
-    """On-disk content-addressed store for blueprints and distances.
-
-    Entries are hydrated into an in-memory table on first access per kind,
-    so warm lookups are dictionary gets, not sqlite queries.  ``put`` is
-    buffered; :meth:`flush` writes the batch inside one locked transaction.
-    The store is fork-aware: a child process inherits the object but not
-    the sqlite connection, which is transparently reopened (and the
-    parent's pending batch dropped — the parent flushes its own writes).
-    """
-
-    def __init__(
-        self,
-        directory: str | os.PathLike | None = None,
-        enabled: bool | None = None,
-    ) -> None:
-        self.directory = Path(directory) if directory else store_dir()
-        self.enabled = store_enabled() if enabled is None else enabled
-        self.path = self.directory / _DB_NAME
-        self._lock_path = self.directory / _LOCK_NAME
-        self._conn: sqlite3.Connection | None = None
-        self._pid = os.getpid()
-        self._mem: dict[str, dict[str, Any]] = {}
-        self._hydrated: set[str] = set()
-        # (key, kind, substrate, payload, already_pickled)
-        self._pending: list[tuple[str, str, str, Any, bool]] = []
-        # Keys read or written by this process: LRU eviction never removes
-        # them (the current run's working set is always protected).
-        self._touched: set[str] = set()
-        # Touched-but-not-yet-recorded keys whose last_used row needs a
-        # refresh at the next flush.
-        self._touch_pending: set[str] = set()
-        self.hits = 0
-        self.misses = 0
-        if self.enabled:
-            # Fail fast on a bad REPRO_STORE_CODEC: flushes run from an
-            # atexit hook whose exceptions are printed-and-swallowed, so
-            # a knob typo discovered only there would silently persist
-            # nothing.
-            store_codec()
-            atexit.register(self.flush)
-
-    # -- connection management ------------------------------------------
-    def _connect(self) -> sqlite3.Connection | None:
-        if not self.enabled:
-            return None
-        if self._pid != os.getpid():
-            # Forked child: the inherited connection (and any batched
-            # writes) belong to the parent.
-            self._conn = None
-            self._pending = []
-            self._mem = {}
-            self._hydrated = set()
-            self._touched = set()
-            self._touch_pending = set()
-            self._pid = os.getpid()
-        if self._conn is None:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(self.path, timeout=30.0)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            self._ensure_schema(conn)
-            self._conn = conn
-        return self._conn
-
-    _ENTRIES_DDL = (
-        "CREATE TABLE IF NOT EXISTS entries ("
-        " key TEXT PRIMARY KEY,"
-        " kind TEXT NOT NULL,"
-        " substrate TEXT NOT NULL,"
-        " value BLOB NOT NULL,"
-        " created REAL NOT NULL,"
-        " last_used REAL NOT NULL,"
-        " size INTEGER NOT NULL,"
-        " codec TEXT NOT NULL DEFAULT 'raw')"
-    )
-
-    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
-        conn.execute(
-            "CREATE TABLE IF NOT EXISTS meta"
-            " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
-        )
-        row = conn.execute(
-            "SELECT value FROM meta WHERE key = 'schema_version'"
-        ).fetchone()
-        if row is not None and row[0] == "2":
-            # v2 -> v3 is a pure column addition: existing entries were all
-            # written raw, which is exactly what the column default says,
-            # so the warm store survives the upgrade instead of being
-            # wiped.  (New writes compress; rows decode per their codec.)
-            conn.execute(self._ENTRIES_DDL)
-            try:
-                conn.execute(
-                    "ALTER TABLE entries"
-                    " ADD COLUMN codec TEXT NOT NULL DEFAULT 'raw'"
-                )
-            except sqlite3.OperationalError:
-                pass  # entries table was absent; the DDL above made a v3 one
-            conn.execute(
-                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
-                (str(SCHEMA_VERSION),),
-            )
-            conn.commit()
-        elif row is None or row[0] != str(SCHEMA_VERSION):
-            # Other layouts differ structurally, so a row-wise DELETE is
-            # not enough — drop and recreate under the current DDL.
-            conn.execute("DROP TABLE IF EXISTS entries")
-            conn.execute(self._ENTRIES_DDL)
-            conn.execute(
-                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
-                (str(SCHEMA_VERSION),),
-            )
-            conn.commit()
-        else:
-            conn.execute(self._ENTRIES_DDL)
-
-    def _hydrate(self, kind: str) -> dict[str, Any]:
-        table = self._mem.get(kind)
-        if table is None:
-            table = self._mem[kind] = {}
-        if kind in self._hydrated:
-            return table
-        conn = self._connect()
-        if conn is not None:
-            try:
-                rows = conn.execute(
-                    "SELECT key, value, codec FROM entries WHERE kind = ?",
-                    (kind,),
-                ).fetchall()
-            except sqlite3.DatabaseError:
-                rows = []
-            for key, blob, codec in rows:
-                try:
-                    table.setdefault(key, _decode_value(blob, codec))
-                except Exception:
-                    continue
-        self._hydrated.add(kind)
-        return table
-
-    # -- lookups ---------------------------------------------------------
-    _SENTINEL = object()
-
-    def get(self, kind: str, key: str) -> Any:
-        """The stored value, or :data:`BlueprintStore.MISS` when absent."""
-        if not self.enabled:
-            return self.MISS
-        if kind in _LARGE_KINDS:
-            return self._get_keyed(kind, key)
-        table = self._hydrate(kind)
-        value = table.get(key, self._SENTINEL)
-        if value is self._SENTINEL:
-            self.misses += 1
-            return self.MISS
-        self.hits += 1
-        self._touch(key)
-        return value
-
-    def _touch(self, key: str) -> None:
-        """Mark ``key`` as part of this run's working set (LRU-protected)."""
-        self._touched.add(key)
-        self._touch_pending.add(key)
-
-    def _get_keyed(self, kind: str, key: str) -> Any:
-        """Point lookup for large-blob kinds (no kind-wide hydration)."""
-        table = self._mem.setdefault(kind, {})
-        value = table.get(key, self._SENTINEL)
-        if value is self._SENTINEL:
-            conn = self._connect()
-            row = None
-            if conn is not None:
-                try:
-                    row = conn.execute(
-                        "SELECT value, codec FROM entries WHERE key = ?",
-                        (key,),
-                    ).fetchone()
-                except sqlite3.DatabaseError:
-                    row = None
-            if row is not None:
-                try:
-                    value = _decode_value(row[0], row[1])
-                except Exception:
-                    value = self._SENTINEL
-            if value is not self._SENTINEL:
-                table[key] = value
-        if value is self._SENTINEL:
-            self.misses += 1
-            return self.MISS
-        self.hits += 1
-        self._touch(key)
-        return value
-
-    def put(
-        self,
-        kind: str,
-        key: str,
-        substrate: str,
-        value: Any,
-        overwrite: bool = False,
-        eager: bool = False,
-    ) -> None:
-        """Buffer one entry; flushed in batches under the file lock.
-
-        ``eager`` pickles the value immediately (snapshotting its current
-        state) instead of at flush time — used for corpus entries, whose
-        documents keep accumulating memos after the put.  ``overwrite``
-        replaces an existing entry (the corpus memo-upgrade path).
-        """
-        if not self.enabled:
-            return
-        if kind in _LARGE_KINDS:
-            # No kind-wide hydration for blob kinds; callers pre-check
-            # existence via get(), and INSERT OR REPLACE is idempotent.
-            table = self._mem.setdefault(kind, {})
-            if key in table and not overwrite:
-                self._touch(key)
-                return
-        else:
-            table = self._hydrate(kind)
-            if key in table and not overwrite:
-                self._touch(key)
-                return
-        table[key] = value
-        self._touched.add(key)
-        payload = pickle.dumps(value) if eager else value
-        self._pending.append((key, kind, substrate, payload, eager))
-        if len(self._pending) >= FLUSH_THRESHOLD:
-            self.flush()
-
-    def flush(self) -> None:
-        """Write batched puts, refresh LRU stamps, enforce the budget.
-
-        All inside one locked transaction, so concurrent CI jobs sharing a
-        cache directory see consistent state.  Eviction (when
-        ``REPRO_STORE_MAX_MB`` is set) runs last: the just-written batch
-        and every key this run touched are protected.
-        """
-        if not self.enabled or (not self._pending and not self._touch_pending):
-            return
-        if self._pid != os.getpid():
-            # Forked child inherited the parent's batch: drop it (the
-            # parent owns those writes) and start clean.
-            self._connect()
-            return
-        # Resolve (and validate) the codec once per flush, *before* the
-        # batch is swapped out — a bad knob then raises with the pending
-        # writes still queued instead of dropping them.
-        codec = store_codec()
-        pending, self._pending = self._pending, []
-        touched, self._touch_pending = self._touch_pending, set()
-        conn = self._connect()
-        if conn is None:
-            return
-        now = time.time()
-        rows = []
-        for key, kind, substrate, payload, pickled in pending:
-            blob = payload if pickled else pickle.dumps(payload)
-            # Compression happens here, at flush — off the experiment's
-            # critical path, after any eager snapshot pickling.  The size
-            # column records the *encoded* bytes: what the file actually
-            # stores and what eviction budgets against.
-            blob, row_codec = _encode_blob(kind, blob, codec)
-            rows.append(
-                (key, kind, substrate, blob, now, now, len(blob), row_codec)
-            )
-        # Stamps for entries read (not rewritten) this run; rows written
-        # above carry a fresh last_used already.
-        stamps = [(now, key) for key in touched.difference(r[0] for r in rows)]
-        with file_lock(self._lock_path):
-            if rows:
-                conn.executemany(
-                    "INSERT OR REPLACE INTO entries VALUES"
-                    " (?, ?, ?, ?, ?, ?, ?, ?)",
-                    rows,
-                )
-            if stamps:
-                conn.executemany(
-                    "UPDATE entries SET last_used = ? WHERE key = ?", stamps
-                )
-            conn.commit()
-            budget = store_budget_bytes()
-            if rows and budget is not None:
-                try:
-                    self._evict_locked(conn, budget)
-                except sqlite3.OperationalError:
-                    # VACUUM needs exclusivity; under reader contention
-                    # from a concurrent job, skip — the budget is cache
-                    # hygiene, and the next flush/evict retries.
-                    pass
-
-    def evict(self, max_bytes: int | None = None) -> tuple[int, int]:
-        """Evict least-recently-used entries down to the size budget.
-
-        ``max_bytes`` defaults to the ``REPRO_STORE_MAX_MB`` budget; with
-        neither set this is a no-op.  Entries touched (read or written) by
-        this process are never evicted — the current run's working set
-        stays warm no matter how small the budget.  Returns
-        ``(evicted_entries, evicted_bytes)``.
-        """
-        budget = store_budget_bytes() if max_bytes is None else max_bytes
-        if not self.enabled or budget is None:
-            return (0, 0)
-        self.flush()
-        conn = self._connect()
-        if conn is None:
-            return (0, 0)
-        with file_lock(self._lock_path):
-            return self._evict_locked(conn, budget)
-
-    def _evict_locked(
-        self, conn: sqlite3.Connection, budget: int
-    ) -> tuple[int, int]:
-        """LRU deletion under the already-held file lock, then VACUUM.
-
-        Candidates are ordered oldest-``last_used`` first (``created`` and
-        key as deterministic tie-breaks); this run's touched keys are
-        always skipped.  The first pass trims by payload accounting; the
-        file is then VACUUMed, the WAL folded back in, and — because
-        sqlite page/overflow overhead makes the file larger than the
-        payload — further passes keep trimming the LRU tail until the
-        *on-disk file* fits the budget or only protected entries remain.
-
-        Eviction triggers at ``budget`` but trims down to ~90% of it:
-        the hysteresis means a store hovering at its budget pays one
-        VACUUM (a whole-file rewrite) per ~10%-of-budget of fresh writes,
-        not one per flush.
-        """
-        evicted = 0
-        evicted_bytes = 0
-        target = budget - budget // 10
-        payload = conn.execute(
-            "SELECT COALESCE(SUM(size), 0) FROM entries"
-        ).fetchone()[0]
-        excess = payload - target if payload > budget else 0
-        while excess > 0:
-            rows = conn.execute(
-                "SELECT key, kind, size FROM entries"
-                " ORDER BY last_used ASC, created ASC, key ASC"
-            ).fetchall()
-            doomed: list[tuple[str, str, int]] = []
-            remaining = excess
-            for key, kind, size in rows:
-                if remaining <= 0:
-                    break
-                if key in self._touched:
-                    continue
-                doomed.append((key, kind, size))
-                remaining -= size
-            if not doomed:
-                break
-            conn.executemany(
-                "DELETE FROM entries WHERE key = ?",
-                [(key,) for key, _, _ in doomed],
-            )
-            conn.commit()
-            evicted += len(doomed)
-            evicted_bytes += sum(size for _, _, size in doomed)
-            for key, kind, _ in doomed:
-                # Keep the in-memory tables consistent so a later put()
-                # can re-persist an evicted key instead of skipping it as
-                # already present.
-                self._mem.get(kind, {}).pop(key, None)
-            if not self._vacuum(conn):
-                # Deletes are durable; space reclaim retries on the next
-                # evict/flush (the freelist pass below picks it up).
-                return (evicted, evicted_bytes)
-            file_size = self.path.stat().st_size
-            excess = file_size - target if file_size > budget else 0
-        if (
-            evicted == 0
-            and self.path.exists()
-            and self.path.stat().st_size > budget
-            and conn.execute("PRAGMA freelist_count").fetchone()[0] > 0
-        ):
-            # The payload fits the budget but the file does not, and free
-            # pages exist (e.g. an earlier VACUUM was skipped under
-            # contention): reclaim them.  Gating on the freelist keeps
-            # this from re-VACUUMing every flush when the file is over
-            # budget purely because protected entries exceed it.
-            self._vacuum(conn)
-        return (evicted, evicted_bytes)
-
-    def _vacuum(self, conn: sqlite3.Connection) -> bool:
-        """VACUUM + fold the WAL back in; False under reader contention.
-
-        VACUUM needs exclusive access; concurrent jobs' readers do not
-        take the file lock, so contention is tolerated (the budget is
-        cache hygiene, not correctness) rather than raised.
-        """
-        try:
-            conn.execute("VACUUM")
-            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
-        except sqlite3.OperationalError:
-            return False
-        return True
-
-    # -- hygiene ---------------------------------------------------------
-    def stats(self) -> dict:
-        """Per-(substrate, kind) entry counts and byte sizes, plus totals.
-
-        ``by_kind`` maps ``"substrate/kind"`` to ``{"entries", "bytes"}``
-        (stored payload bytes — post-codec, so compressed kinds report
-        their compressed footprint, the quantity eviction budgets
-        against); ``payload_bytes`` is their sum and ``bytes`` the
-        on-disk file size (payload + sqlite overhead).
-        """
-        counts: dict[str, dict[str, int]] = {}
-        total = 0
-        payload = 0
-        conn = self._connect() if self.enabled else None
-        if conn is not None:
-            self.flush()
-            for substrate, kind, count, nbytes in conn.execute(
-                "SELECT substrate, kind, COUNT(*), COALESCE(SUM(size), 0)"
-                " FROM entries GROUP BY substrate, kind"
-                " ORDER BY substrate, kind"
-            ):
-                counts[f"{substrate}/{kind}"] = {
-                    "entries": count,
-                    "bytes": nbytes,
-                }
-                total += count
-                payload += nbytes
-        size = self.path.stat().st_size if self.path.exists() else 0
-        return {
-            "path": str(self.path),
-            "enabled": self.enabled,
-            "schema_version": SCHEMA_VERSION,
-            "algo_version": BLUEPRINT_ALGO_VERSION,
-            "entries": total,
-            "by_kind": counts,
-            "payload_bytes": payload,
-            "budget_bytes": store_budget_bytes(),
-            "bytes": size,
-        }
-
-    def clear(self) -> None:
-        """Delete every entry (and reset the in-memory tables)."""
-        self._pending = []
-        self._mem = {}
-        self._hydrated = set()
-        conn = self._connect()
-        if conn is None:
-            return
-        with file_lock(self._lock_path):
-            conn.execute("DELETE FROM entries")
-            conn.commit()
-            conn.execute("VACUUM")
-
-    def close(self) -> None:
-        self.flush()
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
-
-
-# Public miss sentinel: ``None`` is a legitimate stored value (a landmark
-# that anchors no value caches as None), so lookups need a distinct miss.
-BlueprintStore.MISS = BlueprintStore._SENTINEL
-
-
-_shared: BlueprintStore | None = None
-_shared_config: tuple | None = None
-
-
-def shared_store() -> BlueprintStore:
-    """The process-wide store, rebuilt when the env configuration changes."""
-    global _shared, _shared_config
-    config = (store_enabled(), str(store_dir()))
-    if _shared is None or _shared_config != config:
-        if _shared is not None:
-            _shared.close()
-        _shared = BlueprintStore()
-        _shared_config = config
-    return _shared
-
-
-# ----------------------------------------------------------------------
-# CLI (the ``repro-store`` console script)
-# ----------------------------------------------------------------------
-def main(argv: list[str] | None = None) -> int:
-    """``repro-store stats`` / ``repro-store clear`` / ``repro-store evict``."""
-    import argparse
-
-    parser = argparse.ArgumentParser(
-        prog="repro-store",
-        description="Inspect, trim or clear the persistent blueprint store.",
-    )
-    parser.add_argument(
-        "--dir",
-        default=None,
-        help="store directory (default: REPRO_STORE_DIR or ~/.cache/repro)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser(
-        "stats", help="print per-kind entry counts/bytes and file size"
-    )
-    sub.add_parser("clear", help="delete every stored entry")
-    evict = sub.add_parser(
-        "evict", help="LRU-evict entries down to the size budget"
-    )
-    evict.add_argument(
-        "--max-mb",
-        type=float,
-        default=None,
-        help="budget in megabytes (default: REPRO_STORE_MAX_MB)",
-    )
-    args = parser.parse_args(argv)
-
-    store = BlueprintStore(directory=args.dir, enabled=True)
-    if args.command == "stats":
-        stats = store.stats()
-        print(f"store:    {stats['path']}")
-        print(
-            f"versions: schema={stats['schema_version']}"
-            f" algo={stats['algo_version']}"
-        )
-        budget = stats["budget_bytes"]
-        budget_text = f"{budget} bytes" if budget is not None else "unlimited"
-        print(
-            f"entries:  {stats['entries']}"
-            f"  ({stats['payload_bytes']} payload bytes,"
-            f" {stats['bytes']} on disk, budget {budget_text})"
-        )
-        for bucket, detail in stats["by_kind"].items():
-            print(
-                f"  {bucket}: {detail['entries']} entries,"
-                f" {detail['bytes']} bytes"
-            )
-    elif args.command == "clear":
-        before = store.stats()["entries"]
-        store.clear()
-        print(f"cleared {before} entries from {store.path}")
-    elif args.command == "evict":
-        # Same semantics as the env knob: non-positive = no budget (and
-        # with no budget at all, error out rather than wiping the store).
-        max_bytes = (
-            int(args.max_mb * 1024 * 1024)
-            if args.max_mb is not None and args.max_mb > 0
-            else None
-        )
-        if max_bytes is None and store_budget_bytes() is None:
-            print("no budget: set --max-mb or REPRO_STORE_MAX_MB")
-            store.close()
-            return 2
-        entries, nbytes = store.evict(max_bytes)
-        after = store.stats()
-        print(
-            f"evicted {entries} entries ({nbytes} bytes);"
-            f" {after['entries']} entries ({after['bytes']} bytes on disk)"
-            " remain"
-        )
-    store.close()
-    return 0
-
-
-if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+sys.modules[__name__] = _store

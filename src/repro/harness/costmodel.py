@@ -7,7 +7,7 @@ draws the slow tasks straggles while its siblings idle.  This module is
 the cost side of the fix: every shard run records per-task wall-clock
 (:meth:`repro.core.caching.StageTimer.task`, surfaced in each partial's
 ``task_seconds``), the observations are persisted as a ``timing`` kind
-in the :class:`~repro.core.store.BlueprintStore`, and a
+in the :class:`~repro.store.BlueprintStore`, and a
 :class:`CostModel` loaded from that history predicts what every task of
 a graph will cost — which is exactly what the LPT packer
 (:func:`repro.harness.sharding.pack_tasks`) balances on.
@@ -19,8 +19,8 @@ Timing entries are keyed by ``(experiment, REPRO_SCALE, task_key)``:
 * the *scale* partitions the history — wall-clock at ``REPRO_SCALE=1``
   says nothing numeric about a ``0.15`` run, so observations never mix
   across scales;
-* like every store key, :data:`~repro.core.store.BLUEPRINT_ALGO_VERSION`
-  is folded in via :func:`~repro.core.store.entry_key`, so an algorithm
+* like every store key, :data:`~repro.store.BLUEPRINT_ALGO_VERSION`
+  is folded in via :func:`~repro.store.entry_key`, so an algorithm
   change that shifts the cost profile orphans the stale timings instead
   of letting them mis-shape future plans.
 
@@ -50,7 +50,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.core.store import BlueprintStore, entry_key, shared_store
+from repro.store import BlueprintStore, entry_key, shared_store
 
 TaskKey = tuple[str, ...]
 

@@ -134,7 +134,10 @@ def image_corpus(
 
     Shared by the table drivers here and the blueprint-check ablation
     (:mod:`repro.harness.ablations`), so both hit the same corpus-store
-    entries.
+    entries — against whichever backend ``shared_store()`` resolved
+    (local sqlite, or a ``repro-store serve`` daemon via
+    ``REPRO_STORE_URL``), and with the liveness markers ``repro-store
+    gc`` needs written along the way.
     """
     generate = (
         finance.generate_corpus

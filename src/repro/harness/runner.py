@@ -47,12 +47,18 @@ Environment knobs
     round-robin and unsharded runs.
 
 ``REPRO_STORE`` / ``REPRO_STORE_DIR``
-    The persistent content-hash store (:mod:`repro.core.store`): L2 under
+    The persistent content-hash store (:mod:`repro.store`): L2 under
     the ``DistanceCache`` plus program- and corpus-level entries, so
     blueprints, pairwise distances, trained extractors and generated
     corpora survive across runs and CI jobs.  ``REPRO_STORE=0`` disables
     it; ``REPRO_STORE_DIR`` overrides ``~/.cache/repro``.  See
     ``docs/performance.md``.
+
+``REPRO_STORE_BACKEND`` / ``REPRO_STORE_URL``
+    Store backend selection (``sqlite``/``memory``/``remote``) and the
+    ``repro-store serve`` daemon address for the remote backend, so N
+    shard jobs can share one multi-writer warm cache.  Setting
+    ``REPRO_STORE_URL`` alone implies the remote backend.
 """
 
 from __future__ import annotations
@@ -68,7 +74,7 @@ from typing import Any, Callable, Sequence
 
 from repro.core import parallel
 from repro.core.caching import StageTimer, active_timer, cache_enabled, use_timer
-from repro.core.store import entry_key, shared_store
+from repro.store import default_generation, entry_key, shared_store
 
 from repro.core.document import SynthesisFailure, TrainingExample
 from repro.core.dsl import Extractor, ProgramExtractor
@@ -401,6 +407,14 @@ _upgradable_corpora: list[tuple[str, Any]] = []
 _unsnapshotted_corpora: list[tuple[str, Callable[[], Any], Any]] = []
 
 
+def corpus_store_generation() -> str:
+    """Generation stamp for corpus-shaped store rows (``corpus`` /
+    ``corpus_ref``): the blueprint algo version plus the corpus generator
+    version, so ``repro-store gc`` can drop snapshots stranded by either
+    bump."""
+    return f"{default_generation()}|corpus={CORPUS_GENERATOR_VERSION}"
+
+
 def _corpus_store_key(dataset: str, **params) -> str | None:
     if not (shared_store().enabled and cache_enabled()):
         return None
@@ -408,6 +422,25 @@ def _corpus_store_key(dataset: str, **params) -> str | None:
         f"{name}={params[name]}" for name in sorted(params)
     ]
     return entry_key(dataset, "corpus", *parts)
+
+
+def _note_corpus_ref(dataset: str, corpus_key: str) -> None:
+    """Record that a live configuration uses ``corpus_key``.
+
+    The marker row (value = the corpus key it references) is what lets
+    ``repro-store gc`` distinguish corpora some current configuration
+    still loads from dead weight: every build *and* every warm load
+    writes/touches the ref, so a corpus with no current-generation ref
+    is provably unused by the harness.  Re-putting an existing ref just
+    refreshes its LRU stamp.
+    """
+    shared_store().put(
+        "corpus_ref",
+        entry_key(dataset, "corpus_ref", corpus_key),
+        dataset,
+        corpus_key,
+        generation=corpus_store_generation(),
+    )
 
 
 def cached_corpora(dataset: str, build: Callable[[], Any], **params):
@@ -420,6 +453,7 @@ def cached_corpora(dataset: str, build: Callable[[], Any], **params):
     if key is None:
         return build()
     store = shared_store()
+    _note_corpus_ref(dataset, key)
     stored = store.get("corpus", key)
     if stored is not store.MISS:
         active_timer().count("store.corpus.hit")
@@ -462,12 +496,21 @@ def flush_corpus_store() -> None:
             # regenerating a clean copy would bill corpus generation to
             # the measured run; snapshot the live (partially memo-laden)
             # corpora directly and mark them baked.
-            store.put("corpus", key, "corpus", (True, corpora), eager=True)
+            store.put(
+                "corpus", key, "corpus", (True, corpora), eager=True,
+                generation=corpus_store_generation(),
+            )
         else:
-            store.put("corpus", key, "corpus", (False, build()), eager=True)
+            store.put(
+                "corpus", key, "corpus", (False, build()), eager=True,
+                generation=corpus_store_generation(),
+            )
     _unsnapshotted_corpora.clear()
     for key, corpora in _upgradable_corpora:
-        store.put("corpus", key, "corpus", (True, corpora), overwrite=True)
+        store.put(
+            "corpus", key, "corpus", (True, corpora), overwrite=True,
+            generation=corpus_store_generation(),
+        )
     _upgradable_corpora.clear()
     store.flush()
 

@@ -41,7 +41,11 @@ makespan is never worse than the round-robin split of the same graph.
 Plans serialize to JSON (``repro-shard plan``), drivers honour them via
 ``REPRO_SHARD_PLAN=<file>`` next to ``REPRO_SHARD=i/N``, and every
 shard run records its observed per-task seconds back into the timing
-store, so plans improve across CI runs.  Packing only moves tasks
+store, so plans improve across CI runs.  The store itself is pluggable
+(:mod:`repro.store`): point every shard of a fleet at one ``repro-store
+serve`` daemon via ``REPRO_STORE_URL`` and they share a single warm
+cache — blueprints, corpora, programs and timings discovered by one
+shard are hits for the rest.  Packing only moves tasks
 between shards — the merge contract below is assignment-agnostic, so
 packed partials merge byte-identical to round-robin and unsharded runs.
 

@@ -1,0 +1,6 @@
+"""``python -m repro.store`` — same entry as the ``repro-store`` script."""
+
+from repro.store.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

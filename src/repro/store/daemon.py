@@ -1,0 +1,201 @@
+"""The store daemon behind ``repro-store serve``.
+
+One process owns the backend (sqlite on disk, or memory for a purely
+ephemeral fan-in cache); N experiment shards connect with
+:class:`repro.store.remote.RemoteBackend` and share a single warm
+cache instead of each rebuilding a private one.  Stdlib only: a
+:class:`socketserver.ThreadingTCPServer` speaking the framed protocol
+from :mod:`repro.store.remote`, with every backend call serialized
+under one lock — the daemon *is* the multi-writer coordination point,
+so per-request locking is all the concurrency control shards need.
+
+Ops: ``ping`` / ``get`` / ``commit`` / ``touch`` / ``evict`` /
+``stats`` / ``scan`` / ``delete`` / ``clear`` / ``shutdown``.  Binds to
+127.0.0.1 by default (the store is an unauthenticated cache — do not
+expose it beyond the machine/job boundary without a network you trust).
+Port 0 picks a free port; ``--addr-file`` publishes the bound address
+for CI jobs that start the daemon in the background.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socketserver
+import threading
+from pathlib import Path
+
+from repro.store.backend import StoreBackend
+from repro.store.remote import recv_frame, send_frame
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        daemon: StoreDaemon = self.server.daemon  # type: ignore[attr-defined]
+        daemon._track(self.request)
+        try:
+            while True:
+                try:
+                    message = recv_frame(self.request)
+                except (ConnectionError, OSError):
+                    return
+                try:
+                    reply = {"ok": True, "result": daemon.dispatch(message)}
+                except _ShutdownRequested:
+                    send_frame(self.request, {"ok": True, "result": True})
+                    daemon.stop_async()
+                    return
+                except Exception as exc:  # noqa: BLE001 - reply, don't die
+                    reply = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                try:
+                    send_frame(self.request, reply)
+                except (ConnectionError, OSError):
+                    return
+        finally:
+            daemon._untrack(self.request)
+
+
+class _ShutdownRequested(Exception):
+    pass
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class StoreDaemon:
+    """A backend served over TCP to cooperating store clients."""
+
+    def __init__(self, backend: StoreBackend, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.backend = backend
+        self._lock = threading.Lock()
+        self._server = _Server((host, port), _Handler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        # Live client sockets, so stop() can sever persistent connections
+        # (their handler threads would otherwise idle in recv forever).
+        self._conns: set = set()
+        self._conns_lock = threading.Lock()
+
+    def _track(self, request) -> None:
+        with self._conns_lock:
+            self._conns.add(request)
+
+    def _untrack(self, request) -> None:
+        with self._conns_lock:
+            self._conns.discard(request)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"tcp://{host}:{port}"
+
+    # -- op dispatch -----------------------------------------------------
+    def dispatch(self, message: dict) -> object:
+        if not isinstance(message, dict):
+            raise ValueError(f"malformed request: {message!r}")
+        op = message.get("op")
+        with self._lock:
+            if op == "ping":
+                return True
+            if op == "get":
+                return self.backend.get_many(
+                    message["kind"], message.get("keys")
+                )
+            if op == "commit":
+                self.backend.commit(
+                    [tuple(row) for row in message.get("rows", ())],
+                    message.get("stamps", ()),
+                    message.get("budget"),
+                    frozenset(message.get("protected", ())),
+                )
+                return None
+            if op == "touch":
+                self.backend.touch_many(message.get("keys", ()))
+                return None
+            if op == "evict":
+                return self.backend.evict(
+                    message["budget"],
+                    frozenset(message.get("protected", ())),
+                )
+            if op == "stats":
+                return self.backend.stats()
+            if op == "scan":
+                return self.backend.scan()
+            if op == "delete":
+                return self.backend.delete_many(message.get("keys", ()))
+            if op == "clear":
+                self.backend.clear()
+                return None
+            if op == "shutdown":
+                raise _ShutdownRequested
+        raise ValueError(f"unknown op {op!r}")
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Serve on a background thread (tests, embedded use)."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name="repro-store-daemon",
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until stopped (CLI use)."""
+        self._server.serve_forever()
+
+    def stop_async(self) -> None:
+        """Schedule shutdown without deadlocking the handler thread."""
+        threading.Thread(target=self.stop, daemon=True).start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        with self._conns_lock:
+            conns = list(self._conns)
+        for request in conns:
+            with contextlib.suppress(OSError):
+                request.shutdown(2)  # SHUT_RDWR: unblock the handler recv
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.backend.close()
+
+
+def serve(directory, host: str = "127.0.0.1", port: int = 0,
+          backend_name: str = "sqlite",
+          addr_file: str | None = None) -> int:
+    """Foreground entry for ``repro-store serve``."""
+    import signal
+
+    if backend_name == "memory":
+        from repro.store.memory import MemoryBackend
+
+        backend: StoreBackend = MemoryBackend(directory)
+    else:
+        from repro.store.sqlite import SqliteBackend
+
+        backend = SqliteBackend(directory)
+    daemon = StoreDaemon(backend, host=host, port=port)
+    host, port = daemon.address
+    if addr_file:
+        Path(addr_file).write_text(f"tcp://{host}:{port}\n")
+    print(f"repro-store daemon listening on tcp://{host}:{port}"
+          f" ({backend.name}: {backend.stats()['path']})", flush=True)
+
+    def _stop(signum, frame):  # pragma: no cover - signal path
+        daemon.stop_async()
+
+    with contextlib.suppress(ValueError):  # non-main thread (tests)
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+    daemon.serve_forever()
+    return 0

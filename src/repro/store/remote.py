@@ -1,0 +1,283 @@
+"""The remote store backend: a client for ``repro-store serve``.
+
+Wire format (shared with :mod:`repro.store.daemon`): every message is one
+*frame* — a 4-byte big-endian body length, a 1-byte tag, then the body.
+Tag ``P`` is a pickled payload (the normal case: store blobs are bytes
+and requests are small dicts); tag ``J`` is UTF-8 JSON, accepted for
+blob-free control ops (``ping``/``stats``/``evict``/...) so shell
+scripts can poke the daemon with stdlib tools.  Connections are
+persistent — one socket per backend, request/response in lockstep under
+a lock.
+
+The client coalesces the front's flush into a single ``commit`` request
+(writes + LRU stamps + budget enforcement in one round trip) and
+retries each request with exponential backoff (``REPRO_STORE_RETRIES``
+attempts, 50 ms base).  When the daemon stays unreachable the backend
+degrades exactly like a corrupt sqlite file: one warning, then misses
+and dropped writes — never a dead experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import struct
+import time
+import warnings
+from typing import Any, Iterable, Sequence
+
+from repro.store.backend import StoreBackend, StoreRow
+
+# Frame: 4-byte big-endian length + 1-byte tag + body.
+PICKLE_TAG = b"P"
+JSON_TAG = b"J"
+
+# A corpus snapshot is a few MB; a whole-kind hydration of small rows can
+# reach tens of MB on a long-lived store.  The ceiling exists to reject
+# garbage (a stray client speaking another protocol), not to size-limit
+# legitimate traffic.
+MAX_FRAME_BYTES = 1 << 30
+
+_RETRY_BASE_SECONDS = 0.05
+
+
+def default_retries() -> int:
+    """Attempts per request (``REPRO_STORE_RETRIES``, default 3)."""
+    raw = os.environ.get("REPRO_STORE_RETRIES", "").strip()
+    if not raw:
+        return 3
+    try:
+        retries = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_STORE_RETRIES must be an integer, got {raw!r}"
+        ) from None
+    return max(1, retries)
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """``tcp://host:port`` (or bare ``host:port``) -> ``(host, port)``."""
+    spec = url.strip()
+    if spec.startswith("tcp://"):
+        spec = spec[len("tcp://"):]
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"REPRO_STORE_URL must look like tcp://host:port, got {url!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_STORE_URL port must be an integer, got {url!r}"
+        ) from None
+
+
+def send_frame(sock: socket.socket, payload: Any, tag: bytes = PICKLE_TAG) -> None:
+    if tag == JSON_TAG:
+        body = json.dumps(payload).encode("utf-8")
+    else:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(struct.pack(">I", len(body)) + tag + body)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    header = _recv_exact(sock, 5)
+    (length,) = struct.unpack(">I", header[:4])
+    tag = header[4:5]
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"frame of {length} bytes exceeds protocol limit")
+    body = _recv_exact(sock, length)
+    if tag == JSON_TAG:
+        return json.loads(body.decode("utf-8"))
+    if tag == PICKLE_TAG:
+        return pickle.loads(body)
+    raise ConnectionError(f"unknown frame tag {tag!r}")
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            raise ConnectionError("store daemon closed the connection")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+class RemoteBackend(StoreBackend):
+    """Framed request/response client sharing one daemon across writers."""
+
+    name = "remote"
+
+    def __init__(self, url: str, retries: int | None = None) -> None:
+        self.url = url
+        self.host, self.port = parse_url(url)
+        self.retries = default_retries() if retries is None else max(1, retries)
+        self._sock: socket.socket | None = None
+        self._pid = os.getpid()
+        import threading
+
+        self._lock = threading.Lock()
+        # Set after retries are exhausted: the daemon is gone, act disabled.
+        self._failed = False
+
+    # -- transport -------------------------------------------------------
+    def _connected(self) -> socket.socket:
+        if self._pid != os.getpid():
+            # Forked child: the socket's kernel buffer is shared with the
+            # parent — abandon (never shutdown) the inherited fd.
+            self._sock = None
+            self._pid = os.getpid()
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=30.0
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request(self, message: dict, default: Any) -> Any:
+        """One request/response with retry; ``default`` after degrade."""
+        if self._failed:
+            return default
+        with self._lock:
+            last_error: Exception | None = None
+            for attempt in range(self.retries):
+                if attempt:
+                    time.sleep(_RETRY_BASE_SECONDS * (2 ** (attempt - 1)))
+                try:
+                    sock = self._connected()
+                    send_frame(sock, message)
+                    reply = recv_frame(sock)
+                except (OSError, ConnectionError, pickle.PickleError) as exc:
+                    last_error = exc
+                    self._drop_socket()
+                    continue
+                if not isinstance(reply, dict) or not reply.get("ok"):
+                    error = (
+                        reply.get("error") if isinstance(reply, dict) else reply
+                    )
+                    raise RuntimeError(f"store daemon error: {error}")
+                return reply.get("result", default)
+            self._degrade(last_error)
+            return default
+
+    def _degrade(self, exc: Exception | None) -> None:
+        self._failed = True
+        self._drop_socket()
+        warnings.warn(
+            f"remote store disabled: {self.url} unreachable after"
+            f" {self.retries} attempts ({exc}); continuing with cold-path"
+            " recompute",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+    # -- protocol ops ----------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}, False))
+
+    def get_many(
+        self, kind: str, keys: Sequence[str] | None = None
+    ) -> dict[str, tuple[bytes, str]]:
+        keys = None if keys is None else list(keys)
+        result = self._request({"op": "get", "kind": kind, "keys": keys}, {})
+        return {key: (blob, codec) for key, (blob, codec) in result.items()}
+
+    def put_many(self, rows: Sequence[StoreRow]) -> None:
+        self.commit(rows, ())
+
+    def touch_many(self, keys: Iterable[str]) -> None:
+        self.commit((), keys)
+
+    def commit(
+        self,
+        rows: Sequence[StoreRow],
+        stamps: Iterable[str],
+        budget: int | None = None,
+        protected: frozenset[str] | set[str] = frozenset(),
+    ) -> None:
+        rows = list(rows)
+        stamps = list(stamps)
+        if not rows and not stamps:
+            return
+        self._request(
+            {
+                "op": "commit",
+                "rows": rows,
+                "stamps": stamps,
+                "budget": budget,
+                "protected": sorted(protected),
+            },
+            None,
+        )
+
+    def evict(
+        self,
+        budget: int,
+        protected: frozenset[str] | set[str] = frozenset(),
+    ) -> tuple[int, int]:
+        result = self._request(
+            {"op": "evict", "budget": budget, "protected": sorted(protected)},
+            (0, 0),
+        )
+        return (int(result[0]), int(result[1]))
+
+    def scan(self) -> list[tuple[str, str, str, int, str]]:
+        return [tuple(row) for row in self._request({"op": "scan"}, [])]
+
+    def delete_many(self, keys: Sequence[str]) -> tuple[int, int]:
+        result = self._request(
+            {"op": "delete", "keys": list(keys)}, (0, 0)
+        )
+        return (int(result[0]), int(result[1]))
+
+    def stats(self) -> dict:
+        stats = self._request({"op": "stats"}, None)
+        if stats is None:
+            stats = {
+                "path": f"remote://{self.host}:{self.port} (unreachable)",
+                "entries": 0,
+                "by_kind": {},
+                "payload_bytes": 0,
+                "bytes": 0,
+            }
+        else:
+            stats = dict(stats)
+            stats["path"] = (
+                f"remote://{self.host}:{self.port} -> {stats.get('path', '?')}"
+            )
+        return stats
+
+    def clear(self) -> None:
+        self._request({"op": "clear"}, None)
+
+    def shutdown_server(self) -> None:
+        """Ask the daemon to stop (used by tests and CI teardown)."""
+        self._request({"op": "shutdown"}, None)
+        self._drop_socket()
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        if self._pid == os.getpid():
+            self._drop_socket()
+        else:
+            self._sock = None
+
+    def reopen(self) -> "RemoteBackend":
+        # Post-fork: abandon the inherited socket, reconnect lazily.
+        self._sock = None
+        self._pid = os.getpid()
+        return self

@@ -1,0 +1,451 @@
+"""The sqlite store backend (the historical on-disk behavior).
+
+One database file (``blueprints.sqlite``) under the store directory,
+written in batched transactions under an advisory file lock so
+concurrent CI jobs sharing a cache directory cannot corrupt it.  WAL
+mode + a 30 s busy timeout are the backstop on platforms without
+``fcntl``.
+
+Since schema v4 every row records its **generation** — the
+``algo=<BLUEPRINT_ALGO_VERSION>`` (plus, for corpus-shaped kinds, the
+corpus generator version) stamp current code would write it with — so
+``repro-store gc`` can enumerate and drop entries stranded by a version
+bump without reverse-engineering the key hashes.  v2/v3 databases
+migrate in place: the ``codec`` and ``generation`` columns are pure
+additions (old rows read as ``raw`` / unknown generation), so a warm CI
+cache survives the upgrade instead of recomputing from scratch.
+
+A corrupt or truncated database never kills the run: the first failing
+open/DDL degrades the backend to a disabled state — one warning, then
+every read is a miss and every write a no-op, i.e. cold-path recompute.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import time
+import warnings
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.store.backend import (
+    DB_NAME,
+    LOCK_NAME,
+    StoreBackend,
+    StoreRow,
+    file_lock,
+)
+
+# Bump when the sqlite layout itself changes.  (2: last_used + size
+# columns for LRU eviction and per-kind byte accounting.  3: codec
+# column for transparent blob compression.  4: generation column for
+# generation-aware GC.)  v2/v3 databases migrate in place — both new
+# columns are pure additions whose defaults describe the old rows
+# exactly; any other mismatch wipes the database on open rather than
+# attempting migration.
+SCHEMA_VERSION = 4
+
+# sqlite's host-parameter limit is 999 in older builds; chunk IN (...)
+# point lookups well under it.
+_SELECT_CHUNK = 400
+
+
+class SqliteBackend(StoreBackend):
+    """Rows in one sqlite file, flushed under an advisory ``flock``."""
+
+    name = "sqlite"
+
+    _ENTRIES_DDL = (
+        "CREATE TABLE IF NOT EXISTS entries ("
+        " key TEXT PRIMARY KEY,"
+        " kind TEXT NOT NULL,"
+        " substrate TEXT NOT NULL,"
+        " value BLOB NOT NULL,"
+        " created REAL NOT NULL,"
+        " last_used REAL NOT NULL,"
+        " size INTEGER NOT NULL,"
+        " codec TEXT NOT NULL DEFAULT 'raw',"
+        " generation TEXT NOT NULL DEFAULT '')"
+    )
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / DB_NAME
+        self._lock_path = self.directory / LOCK_NAME
+        self._conn: sqlite3.Connection | None = None
+        self._pid = os.getpid()
+        # Set when the database proved unusable (corrupt/truncated file):
+        # the backend then serves misses and swallows writes instead of
+        # killing the run.
+        self._failed = False
+
+    # -- connection management ------------------------------------------
+    def _connect(self) -> sqlite3.Connection | None:
+        if self._failed:
+            return None
+        if self._pid != os.getpid():
+            # Forked child: the inherited connection belongs to the
+            # parent — drop the reference without closing it.
+            self._conn = None
+            self._pid = os.getpid()
+        if self._conn is None:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                # check_same_thread=False: the daemon serves this backend
+                # from handler threads, serialized under one lock — the
+                # connection is shared, never used concurrently.
+                conn = sqlite3.connect(
+                    self.path, timeout=30.0, check_same_thread=False
+                )
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                self._ensure_schema(conn)
+            except (sqlite3.DatabaseError, OSError) as exc:
+                self._degrade(exc)
+                return None
+            self._conn = conn
+        return self._conn
+
+    def _degrade(self, exc: Exception) -> None:
+        """Corrupt/unopenable database: warn once, then act disabled.
+
+        The store is a cache — losing it costs recomputation, never
+        correctness — so a truncated or garbage ``blueprints.sqlite``
+        must not take the whole experiment down with it.
+        """
+        self._failed = True
+        self._conn = None
+        warnings.warn(
+            f"persistent store disabled: {self.path} is unusable ({exc});"
+            " continuing with cold-path recompute"
+            " (delete the file or run `repro-store clear` to recover)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _ensure_schema(self, conn: sqlite3.Connection) -> None:
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta"
+            " (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        version = row[0] if row is not None else None
+        if version in ("2", "3"):
+            # v2 -> v4 and v3 -> v4 are pure column additions whose
+            # defaults describe the old rows exactly (uncompressed,
+            # generation unknown), so the warm store survives the
+            # upgrade instead of being wiped.  Unknown-generation rows
+            # read fine; `repro-store gc` treats them as stale.
+            conn.execute(self._ENTRIES_DDL)
+            for ddl in (
+                "ALTER TABLE entries"
+                " ADD COLUMN codec TEXT NOT NULL DEFAULT 'raw'",
+                "ALTER TABLE entries"
+                " ADD COLUMN generation TEXT NOT NULL DEFAULT ''",
+            ):
+                try:
+                    conn.execute(ddl)
+                except sqlite3.OperationalError:
+                    # Column already present (v3's codec), or the
+                    # entries table was absent and the DDL above made a
+                    # current one.
+                    pass
+            conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+        elif version != str(SCHEMA_VERSION):
+            # Other layouts differ structurally, so a row-wise DELETE is
+            # not enough — drop and recreate under the current DDL.
+            conn.execute("DROP TABLE IF EXISTS entries")
+            conn.execute(self._ENTRIES_DDL)
+            conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+            conn.commit()
+        else:
+            conn.execute(self._ENTRIES_DDL)
+
+    # -- reads -----------------------------------------------------------
+    def get_many(
+        self, kind: str, keys: Sequence[str] | None = None
+    ) -> dict[str, tuple[bytes, str]]:
+        conn = self._connect()
+        if conn is None:
+            return {}
+        result: dict[str, tuple[bytes, str]] = {}
+        try:
+            if keys is None:
+                rows = conn.execute(
+                    "SELECT key, value, codec FROM entries WHERE kind = ?",
+                    (kind,),
+                ).fetchall()
+            else:
+                rows = []
+                keys = list(keys)
+                for start in range(0, len(keys), _SELECT_CHUNK):
+                    chunk = keys[start:start + _SELECT_CHUNK]
+                    marks = ",".join("?" * len(chunk))
+                    rows.extend(
+                        conn.execute(
+                            "SELECT key, value, codec FROM entries"
+                            f" WHERE kind = ? AND key IN ({marks})",
+                            (kind, *chunk),
+                        ).fetchall()
+                    )
+        except sqlite3.DatabaseError:
+            return {}
+        for key, blob, codec in rows:
+            result[key] = (blob, codec)
+        return result
+
+    # -- writes ----------------------------------------------------------
+    def put_many(self, rows: Sequence[StoreRow]) -> None:
+        self.commit(rows, ())
+
+    def touch_many(self, keys: Iterable[str]) -> None:
+        self.commit((), keys)
+
+    def commit(
+        self,
+        rows: Sequence[StoreRow],
+        stamps: Iterable[str],
+        budget: int | None = None,
+        protected: frozenset[str] | set[str] = frozenset(),
+    ) -> None:
+        conn = self._connect()
+        if conn is None:
+            return
+        now = time.time()
+        db_rows = [
+            (key, kind, substrate, blob, now, now, size, codec, generation)
+            for key, kind, substrate, blob, codec, size, generation in rows
+        ]
+        written = {row[0] for row in db_rows}
+        stamp_rows = [(now, key) for key in stamps if key not in written]
+        if not db_rows and not stamp_rows:
+            return
+        with file_lock(self._lock_path):
+            if db_rows:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO entries VALUES"
+                    " (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    db_rows,
+                )
+            if stamp_rows:
+                conn.executemany(
+                    "UPDATE entries SET last_used = ? WHERE key = ?",
+                    stamp_rows,
+                )
+            conn.commit()
+            if db_rows and budget is not None:
+                try:
+                    self._evict_locked(conn, budget, protected)
+                except sqlite3.OperationalError:
+                    # VACUUM needs exclusivity; under reader contention
+                    # from a concurrent job, skip — the budget is cache
+                    # hygiene, and the next flush/evict retries.
+                    pass
+
+    # -- eviction --------------------------------------------------------
+    def evict(
+        self,
+        budget: int,
+        protected: frozenset[str] | set[str] = frozenset(),
+    ) -> tuple[int, int]:
+        conn = self._connect()
+        if conn is None:
+            return (0, 0)
+        with file_lock(self._lock_path):
+            try:
+                return self._evict_locked(conn, budget, protected)
+            except sqlite3.OperationalError:
+                return (0, 0)
+
+    def _evict_locked(
+        self,
+        conn: sqlite3.Connection,
+        budget: int,
+        protected: frozenset[str] | set[str],
+    ) -> tuple[int, int]:
+        """LRU deletion under the already-held file lock, then VACUUM.
+
+        Candidates are ordered oldest-``last_used`` first (``created``
+        and key as deterministic tie-breaks); ``protected`` keys (the
+        calling run's working set) are always skipped.  The first pass
+        trims by payload accounting; the file is then VACUUMed, the WAL
+        folded back in, and — because sqlite page/overflow overhead
+        makes the file larger than the payload — further passes keep
+        trimming the LRU tail until the *on-disk file* fits the budget
+        or only protected entries remain.
+
+        Eviction triggers at ``budget`` but trims down to ~90% of it:
+        the hysteresis means a store hovering at its budget pays one
+        VACUUM (a whole-file rewrite) per ~10%-of-budget of fresh
+        writes, not one per flush.
+        """
+        evicted = 0
+        evicted_bytes = 0
+        target = budget - budget // 10
+        payload = conn.execute(
+            "SELECT COALESCE(SUM(size), 0) FROM entries"
+        ).fetchone()[0]
+        excess = payload - target if payload > budget else 0
+        while excess > 0:
+            rows = conn.execute(
+                "SELECT key, size FROM entries"
+                " ORDER BY last_used ASC, created ASC, key ASC"
+            ).fetchall()
+            doomed: list[tuple[str, int]] = []
+            remaining = excess
+            for key, size in rows:
+                if remaining <= 0:
+                    break
+                if key in protected:
+                    continue
+                doomed.append((key, size))
+                remaining -= size
+            if not doomed:
+                break
+            conn.executemany(
+                "DELETE FROM entries WHERE key = ?",
+                [(key,) for key, _ in doomed],
+            )
+            conn.commit()
+            evicted += len(doomed)
+            evicted_bytes += sum(size for _, size in doomed)
+            if not self._vacuum(conn):
+                # Deletes are durable; space reclaim retries on the next
+                # evict/flush (the freelist pass below picks it up).
+                return (evicted, evicted_bytes)
+            file_size = self.path.stat().st_size
+            excess = file_size - target if file_size > budget else 0
+        if (
+            evicted == 0
+            and self.path.exists()
+            and self.path.stat().st_size > budget
+            and conn.execute("PRAGMA freelist_count").fetchone()[0] > 0
+        ):
+            # The payload fits the budget but the file does not, and free
+            # pages exist (e.g. an earlier VACUUM was skipped under
+            # contention): reclaim them.  Gating on the freelist keeps
+            # this from re-VACUUMing every flush when the file is over
+            # budget purely because protected entries exceed it.
+            self._vacuum(conn)
+        return (evicted, evicted_bytes)
+
+    def _vacuum(self, conn: sqlite3.Connection) -> bool:
+        """VACUUM + fold the WAL back in; False under reader contention.
+
+        VACUUM needs exclusive access; concurrent jobs' readers do not
+        take the file lock, so contention is tolerated (the budget is
+        cache hygiene, not correctness) rather than raised.
+        """
+        try:
+            conn.execute("VACUUM")
+            conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.OperationalError:
+            return False
+        return True
+
+    # -- GC primitives ---------------------------------------------------
+    def scan(self) -> list[tuple[str, str, str, int, str]]:
+        conn = self._connect()
+        if conn is None:
+            return []
+        try:
+            return conn.execute(
+                "SELECT key, kind, substrate, size, generation FROM entries"
+                " ORDER BY kind, key"
+            ).fetchall()
+        except sqlite3.DatabaseError:
+            return []
+
+    def delete_many(self, keys: Sequence[str]) -> tuple[int, int]:
+        conn = self._connect()
+        if conn is None or not keys:
+            return (0, 0)
+        keys = list(keys)
+        deleted = 0
+        nbytes = 0
+        with file_lock(self._lock_path):
+            for start in range(0, len(keys), _SELECT_CHUNK):
+                chunk = keys[start:start + _SELECT_CHUNK]
+                marks = ",".join("?" * len(chunk))
+                nbytes += conn.execute(
+                    "SELECT COALESCE(SUM(size), 0) FROM entries"
+                    f" WHERE key IN ({marks})",
+                    chunk,
+                ).fetchone()[0]
+                cursor = conn.execute(
+                    f"DELETE FROM entries WHERE key IN ({marks})", chunk
+                )
+                deleted += cursor.rowcount
+            conn.commit()
+            if deleted:
+                self._vacuum(conn)
+        return (deleted, nbytes)
+
+    # -- hygiene ---------------------------------------------------------
+    def stats(self) -> dict:
+        counts: dict[str, dict] = {}
+        total = 0
+        payload = 0
+        conn = self._connect()
+        if conn is not None:
+            try:
+                rows = conn.execute(
+                    "SELECT substrate, kind, generation,"
+                    " COUNT(*), COALESCE(SUM(size), 0)"
+                    " FROM entries GROUP BY substrate, kind, generation"
+                    " ORDER BY substrate, kind, generation"
+                ).fetchall()
+            except sqlite3.DatabaseError:
+                rows = []
+            for substrate, kind, generation, count, nbytes in rows:
+                bucket = counts.setdefault(
+                    f"{substrate}/{kind}",
+                    {"entries": 0, "bytes": 0, "generations": {}},
+                )
+                bucket["entries"] += count
+                bucket["bytes"] += nbytes
+                label = generation or "unknown"
+                bucket["generations"][label] = (
+                    bucket["generations"].get(label, 0) + count
+                )
+                total += count
+                payload += nbytes
+        size = self.path.stat().st_size if self.path.exists() else 0
+        return {
+            "path": str(self.path),
+            "entries": total,
+            "by_kind": counts,
+            "payload_bytes": payload,
+            "bytes": size,
+        }
+
+    def clear(self) -> None:
+        conn = self._connect()
+        if conn is None:
+            return
+        with file_lock(self._lock_path):
+            conn.execute("DELETE FROM entries")
+            conn.commit()
+            conn.execute("VACUUM")
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+    def reopen(self) -> "SqliteBackend":
+        # Post-fork: drop (never close) the parent's connection.
+        self._conn = None
+        self._pid = os.getpid()
+        return self

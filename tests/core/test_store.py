@@ -230,8 +230,9 @@ class TestHygiene:
         store.flush()
         conn = store._connect()
         conn.execute(
-            "INSERT OR REPLACE INTO entries VALUES"
-            " ('bad', 'dist', 'html', ?, 0, 0, 12, 'raw')",
+            "INSERT OR REPLACE INTO entries"
+            " (key, kind, substrate, value, created, last_used, size, codec)"
+            " VALUES ('bad', 'dist', 'html', ?, 0, 0, 12, 'raw')",
             (b"not a pickle",),
         )
         conn.commit()

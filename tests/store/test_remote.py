@@ -1,0 +1,164 @@
+"""Remote backend + daemon specifics: framing, sharing, degrade, warm runs."""
+
+import math
+import socket
+import warnings
+
+import pytest
+
+from repro.store import BlueprintStore
+from repro.store.daemon import StoreDaemon
+from repro.store.memory import MemoryBackend
+from repro.store.remote import (
+    JSON_TAG,
+    RemoteBackend,
+    parse_url,
+    recv_frame,
+    send_frame,
+)
+from repro.store.sqlite import SqliteBackend
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    daemon = StoreDaemon(SqliteBackend(tmp_path / "served"))
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+class TestUrlParsing:
+    def test_scheme_and_bare_forms(self):
+        assert parse_url("tcp://127.0.0.1:7463") == ("127.0.0.1", 7463)
+        assert parse_url("localhost:99") == ("localhost", 99)
+
+    @pytest.mark.parametrize("bad", ["", "tcp://", "host", "host:port"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_url(bad)
+
+
+class TestSharing:
+    def test_entries_shared_across_clients(self, tmp_path, daemon):
+        writer = BlueprintStore(
+            directory=tmp_path / "a", enabled=True, backend="remote",
+            url=daemon.url,
+        )
+        writer.put("dist", "k", "html", 0.5)
+        writer.close()
+        reader = BlueprintStore(
+            directory=tmp_path / "b", enabled=True, backend="remote",
+            url=daemon.url,
+        )
+        assert reader.get("dist", "k") == 0.5
+        assert reader.hits == 1
+        reader.close()
+
+    def test_served_entries_persist_in_sqlite(self, tmp_path, daemon):
+        client = BlueprintStore(
+            directory=tmp_path / "c", enabled=True, backend="remote",
+            url=daemon.url,
+        )
+        client.put("dist", "k", "html", 0.25)
+        client.close()
+        daemon.stop()
+        # The daemon's backing database is a normal store directory.
+        local = BlueprintStore(directory=tmp_path / "served", enabled=True)
+        assert local.get("dist", "k") == 0.25
+        local.close()
+
+    def test_json_frames_accepted_for_control_ops(self, daemon):
+        host, port = daemon.address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            send_frame(sock, {"op": "ping"}, tag=JSON_TAG)
+            assert recv_frame(sock) == {"ok": True, "result": True}
+            send_frame(sock, {"op": "stats"}, tag=JSON_TAG)
+            reply = recv_frame(sock)
+            assert reply["ok"] and reply["result"]["entries"] == 0
+
+    def test_unknown_op_reports_error_not_death(self, daemon):
+        backend = RemoteBackend(daemon.url)
+        with pytest.raises(RuntimeError, match="unknown op"):
+            backend._request({"op": "frobnicate"}, None)
+        # The daemon survived and still answers.
+        assert backend.ping()
+        backend.close()
+
+
+class TestDegrade:
+    def test_unreachable_daemon_degrades_to_misses(self, tmp_path):
+        store = BlueprintStore(
+            directory=tmp_path / "d", enabled=True, backend="remote",
+            url="tcp://127.0.0.1:1",
+        )
+        store.backend.retries = 2
+        with pytest.warns(RuntimeWarning, match="remote store disabled"):
+            assert store.get("dist", "k") is BlueprintStore.MISS
+        # Degraded, not dead: writes are swallowed, reads miss, no retry
+        # storm and no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store.put("dist", "k", "html", 0.5)
+            store.flush()
+            assert store.get("dist", "k2") is BlueprintStore.MISS
+            assert store.stats()["entries"] == 0
+        store.close()
+
+    def test_daemon_stopping_mid_run_degrades(self, tmp_path, daemon):
+        store = BlueprintStore(
+            directory=tmp_path / "e", enabled=True, backend="remote",
+            url=daemon.url,
+        )
+        store.put("dist", "k", "html", 0.5)
+        store.flush()
+        daemon.stop()
+        store.backend.retries = 2
+        with pytest.warns(RuntimeWarning, match="remote store disabled"):
+            assert store.get("doc_bp", "other") is BlueprintStore.MISS
+        store.close()
+
+
+class TestWarmRunsViaDaemon:
+    def test_warm_experiment_skips_training(self, tmp_path, monkeypatch, daemon):
+        """A second run against the same daemon must be served from it:
+        program-store hits, and byte-identical scores."""
+        from repro.core.caching import StageTimer, use_timer
+        from repro.harness.runner import (
+            LrsynHtmlMethod,
+            flush_corpus_store,
+            run_m2h_experiment,
+        )
+
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "client"))
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "remote")
+        monkeypatch.setenv("REPRO_STORE_URL", daemon.url)
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        methods = [LrsynHtmlMethod()]
+        cold = run_m2h_experiment(
+            methods, providers=["getthere"], train_size=4, test_size=6
+        )
+        flush_corpus_store()
+
+        # Rotate the shared store through another directory so the rerun
+        # rehydrates from the daemon instead of process memory.
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "other"))
+        from repro.store import shared_store
+
+        shared_store()
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "client"))
+
+        timer = StageTimer()
+        with use_timer(timer):
+            warm = run_m2h_experiment(
+                methods, providers=["getthere"], train_size=4, test_size=6
+            )
+        counts = timer.snapshot()["counters"]
+        assert counts.get("store.program.hit", 0) > 0
+        assert counts.get("store.program.miss", 0) == 0
+        assert len(cold) == len(warm)
+        for left, right in zip(cold, warm):
+            for a, b in ((left.f1, right.f1), (left.precision, right.precision)):
+                assert (math.isnan(a) and math.isnan(b)) or a == b
+        # Flush the shared store while the daemon is still up, so the
+        # atexit flush doesn't warn about an unreachable daemon later.
+        shared_store().close()
