@@ -915,7 +915,16 @@ def run_shard(
 
 
 def save_partial(path: "str | os.PathLike", partial: dict) -> None:
-    """Serialize a partial, dropping non-picklable extractors first."""
+    """Serialize a partial, dropping non-picklable extractors first.
+
+    The write is atomic (tmp + ``os.replace``), so a *live* writer never
+    exposes a torn file — the work-stealing worker rewrites its partial
+    after every completed task, and an interrupt between tasks must not
+    corrupt the previous snapshot.  A torn partial on disk therefore
+    always means a crashed writer; merge tolerates it and recovery
+    re-runs exactly the tasks it failed to carry.
+    """
+    from repro.harness import chaos
     from repro.harness.runner import _transportable
 
     payload = dict(partial)
@@ -925,8 +934,19 @@ def save_partial(path: "str | os.PathLike", partial: dict) -> None:
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        pickle.dump(payload, handle)
+    blob = pickle.dumps(payload)
+    if chaos.trip("truncate_partial"):
+        # Crash mid-flush: half the bytes land directly in the final
+        # path (no tmp/rename — this models dying inside write()), then
+        # the process is gone.
+        with open(path, "wb") as handle:
+            handle.write(blob[: max(1, len(blob) // 2)])
+        chaos.kill()
+        return  # reached only when tests stub chaos.kill
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp, path)
 
 
 def load_partial(path: "str | os.PathLike") -> dict:
@@ -1312,6 +1332,70 @@ def main(argv: list[str] | None = None) -> int:
         help="write the makespan/prediction report JSON here",
     )
 
+    work_cmd = sub.add_parser(
+        "work",
+        help=(
+            "work-stealing run: N workers pull tasks from a shared"
+            " leased claim queue; dead workers' claims are reclaimed"
+            " and the merge stays byte-identical"
+        ),
+    )
+    work_cmd.add_argument(
+        "--experiment", required=True, choices=sorted(EXPERIMENTS)
+    )
+    work_cmd.add_argument("--seed", type=int, default=0)
+    work_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker subprocesses to spawn (orchestrator mode)",
+    )
+    work_cmd.add_argument(
+        "--worker",
+        default=None,
+        help=(
+            "i/N: run a single worker loop in this process instead of"
+            " orchestrating (spawned internally by the orchestrator)"
+        ),
+    )
+    work_cmd.add_argument("--out", required=True)
+    work_cmd.add_argument(
+        "--fresh",
+        action="store_true",
+        help="reset the split's queue instead of resuming it",
+    )
+    work_cmd.add_argument(
+        "--keep-queue",
+        action="store_true",
+        help="keep the claim rows after a successful merge",
+    )
+    work_cmd.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        help="claim lease seconds (default: REPRO_QUEUE_LEASE)",
+    )
+    work_cmd.add_argument(
+        "--poll",
+        type=float,
+        default=None,
+        help="idle claim retry seconds (default: REPRO_QUEUE_POLL)",
+    )
+    work_cmd.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        help="recovery rounds before giving up (default 4)",
+    )
+    work_cmd.add_argument(
+        "--table", default=None, help="also write rendered tables here"
+    )
+    work_cmd.add_argument(
+        "--stats-out",
+        default=None,
+        help="write the final queue snapshot (reclaims etc.) as JSON",
+    )
+
     merge_cmd = sub.add_parser(
         "merge", help="merge shard partials into one result file"
     )
@@ -1472,6 +1556,66 @@ def main(argv: list[str] | None = None) -> int:
             f"packed {plan.count} shard(s) of {plan.experiment}:"
             f" {len(merged['graph'])} tasks, {count} results"
             f" -> {args.out}"
+        )
+        return 0
+
+    if args.command == "work":
+        from repro.harness import queue as work_queue
+
+        if args.worker is not None:
+            # Single-worker mode: one pull loop, spawned by the
+            # orchestrator (or run by hand against a live queue).
+            spec = parse_shard(args.worker)
+            digest = work_queue.experiment_digest(args.experiment, args.seed)
+            claim_queue = work_queue.ClaimQueue(work_queue.queue_id(digest))
+            try:
+                partial = work_queue.work_shard(
+                    args.experiment,
+                    work_queue.default_worker_name(spec.index),
+                    claim_queue,
+                    seed=args.seed,
+                    shard=spec,
+                    out=args.out,
+                    lease=args.lease,
+                    poll=args.poll,
+                )
+            finally:
+                claim_queue.close()
+            count = sum(len(r) for r in partial["results"].values())
+            print(
+                f"worker {spec} of {args.experiment}:"
+                f" {len(partial['owned'])}/{len(partial['graph'])} tasks won,"
+                f" {count} results, {partial['wall_seconds']:.2f}s"
+                f" -> {args.out}"
+            )
+            return 0
+        try:
+            merged = work_queue.run_work_pool(
+                args.experiment,
+                args.workers,
+                seed=args.seed,
+                out=args.out,
+                fresh=args.fresh,
+                keep_queue=args.keep_queue,
+                lease=args.lease,
+                poll=args.poll,
+                max_rounds=(
+                    args.max_rounds
+                    if args.max_rounds is not None
+                    else work_queue.DEFAULT_MAX_ROUNDS
+                ),
+                stats_out=args.stats_out,
+            )
+        except (RuntimeError, work_queue.QueueUnavailableError) as err:
+            print(f"WORK FAILED: {err}")
+            return 1
+        if args.table:
+            Path(args.table).write_text(render_tables(merged) + "\n")
+        count = sum(len(r) for r in merged["results"].values())
+        print(
+            f"work-stealing merge of {merged['experiment']}"
+            f" ({args.workers} workers, {merged['rounds']} round(s)):"
+            f" {len(merged['graph'])} tasks, {count} results -> {args.out}"
         )
         return 0
 

@@ -10,22 +10,40 @@ under one lock — the daemon *is* the multi-writer coordination point,
 so per-request locking is all the concurrency control shards need.
 
 Ops: ``ping`` / ``get`` / ``commit`` / ``touch`` / ``evict`` /
-``stats`` / ``scan`` / ``delete`` / ``clear`` / ``shutdown``.  Binds to
-127.0.0.1 by default (the store is an unauthenticated cache — do not
-expose it beyond the machine/job boundary without a network you trust).
-Port 0 picks a free port; ``--addr-file`` publishes the bound address
-for CI jobs that start the daemon in the background.
+``stats`` / ``scan`` / ``delete`` / ``clear`` / ``queue`` /
+``shutdown``.  The ``queue`` op carries the work-stealing claim-table
+verbs (:mod:`repro.store.claims`); serialized under the dispatch lock,
+each one is an atomic compare-and-swap, which is what lets N workers
+share one queue safely.  Binds to 127.0.0.1 by default (the store is an
+unauthenticated cache — do not expose it beyond the machine/job
+boundary without a network you trust).  Port 0 picks a free port;
+``--addr-file`` publishes the bound address for CI jobs that start the
+daemon in the background.
+
+Shutdown (SIGTERM/SIGINT or the ``shutdown`` op) drains: the listener
+closes, but a frame that has started arriving is always read to the
+end, dispatched, and answered before its connection closes — an
+interrupt never drops a coalesced commit frame on the floor.  Idle
+connections notice the drain within ``_POLL_SECONDS`` and close; only
+connections still unresponsive after ``_DRAIN_SECONDS`` are severed.
 """
 
 from __future__ import annotations
 
 import contextlib
+import socket
 import socketserver
 import threading
+import time
 from pathlib import Path
 
 from repro.store.backend import StoreBackend
 from repro.store.remote import recv_frame, send_frame
+
+# How often an idle handler wakes up to check for drain, and how long
+# stop() waits for in-flight frames before severing connections.
+_POLL_SECONDS = 0.2
+_DRAIN_SECONDS = 5.0
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -35,7 +53,16 @@ class _Handler(socketserver.BaseRequestHandler):
         try:
             while True:
                 try:
-                    message = recv_frame(self.request)
+                    first = self._poll_first_byte(daemon)
+                except (ConnectionError, OSError):
+                    return
+                if first is None:
+                    # Draining and idle between frames: safe to close.
+                    return
+                try:
+                    # A frame has started — finish it blocking, even
+                    # mid-drain, so a commit is never half-read.
+                    message = recv_frame(self.request, prefix=first)
                 except (ConnectionError, OSError):
                     return
                 try:
@@ -53,8 +80,33 @@ class _Handler(socketserver.BaseRequestHandler):
                     send_frame(self.request, reply)
                 except (ConnectionError, OSError):
                     return
+                if daemon._draining.is_set():
+                    # In-flight frame served; now part company.
+                    return
         finally:
             daemon._untrack(self.request)
+
+    def _poll_first_byte(self, daemon: "StoreDaemon") -> bytes | None:
+        """First header byte of the next frame, or ``None`` on drain.
+
+        Blocks in ``_POLL_SECONDS`` slices so an idle connection
+        notices a drain promptly; the timeout is cleared before
+        returning so the frame body is read blocking.
+        """
+        while True:
+            self.request.settimeout(_POLL_SECONDS)
+            try:
+                first = self.request.recv(1)
+            except socket.timeout:
+                if daemon._draining.is_set():
+                    self.request.settimeout(None)
+                    return None
+                continue
+            finally:
+                self.request.settimeout(None)
+            if not first:
+                raise ConnectionError("client closed the connection")
+            return first
 
 
 class _ShutdownRequested(Exception):
@@ -80,6 +132,8 @@ class StoreDaemon:
         # (their handler threads would otherwise idle in recv forever).
         self._conns: set = set()
         self._conns_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
 
     def _track(self, request) -> None:
         with self._conns_lock:
@@ -135,6 +189,12 @@ class StoreDaemon:
             if op == "clear":
                 self.backend.clear()
                 return None
+            if op == "queue":
+                return self.backend.queue_op(
+                    message["queue"],
+                    message["qop"],
+                    message.get("args") or {},
+                )
             if op == "shutdown":
                 raise _ShutdownRequested
         raise ValueError(f"unknown op {op!r}")
@@ -156,9 +216,23 @@ class StoreDaemon:
         """Schedule shutdown without deadlocking the handler thread."""
         threading.Thread(target=self.stop, daemon=True).start()
 
-    def stop(self) -> None:
+    def stop(self, drain: float = _DRAIN_SECONDS) -> None:
+        """Stop accepting, drain in-flight frames, then close everything.
+
+        Handlers exit on their own once draining is set — after
+        answering any frame already in flight.  Connections that have
+        not wound down within ``drain`` seconds (a wedged client) are
+        severed so shutdown always terminates.
+        """
+        self._draining.set()
         self._server.shutdown()
         self._server.server_close()
+        deadline = time.time() + max(0.0, drain)
+        while time.time() < deadline:
+            with self._conns_lock:
+                if not self._conns:
+                    break
+            time.sleep(0.02)
         with self._conns_lock:
             conns = list(self._conns)
         for request in conns:
@@ -168,6 +242,7 @@ class StoreDaemon:
             self._thread.join(timeout=10.0)
             self._thread = None
         self.backend.close()
+        self._stopped.set()
 
 
 def serve(directory, host: str = "127.0.0.1", port: int = 0,
@@ -198,4 +273,8 @@ def serve(directory, host: str = "127.0.0.1", port: int = 0,
         signal.signal(signal.SIGTERM, _stop)
         signal.signal(signal.SIGINT, _stop)
     daemon.serve_forever()
+    # serve_forever returns as soon as the listener closes; wait for the
+    # drain to finish so a SIGTERM exit never abandons an in-flight
+    # commit frame mid-reply.
+    daemon._stopped.wait(timeout=_DRAIN_SECONDS + 10.0)
     return 0

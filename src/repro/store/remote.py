@@ -43,6 +43,26 @@ MAX_FRAME_BYTES = 1 << 30
 _RETRY_BASE_SECONDS = 0.05
 
 
+def default_timeout() -> float:
+    """Socket timeout in seconds (``REPRO_STORE_TIMEOUT``, default 30).
+
+    Applies to connect *and* every send/recv on the persistent socket,
+    so a hung (not merely dead) daemon surfaces as ``socket.timeout`` —
+    an ``OSError`` — and flows through the normal retry/backoff/degrade
+    path instead of blocking a worker forever.
+    """
+    raw = os.environ.get("REPRO_STORE_TIMEOUT", "").strip()
+    if not raw:
+        return 30.0
+    try:
+        timeout = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_STORE_TIMEOUT must be a number (seconds), got {raw!r}"
+        ) from None
+    return max(0.1, timeout)
+
+
 def default_retries() -> int:
     """Attempts per request (``REPRO_STORE_RETRIES``, default 3)."""
     raw = os.environ.get("REPRO_STORE_RETRIES", "").strip()
@@ -83,8 +103,15 @@ def send_frame(sock: socket.socket, payload: Any, tag: bytes = PICKLE_TAG) -> No
     sock.sendall(struct.pack(">I", len(body)) + tag + body)
 
 
-def recv_frame(sock: socket.socket) -> Any:
-    header = _recv_exact(sock, 5)
+def recv_frame(sock: socket.socket, prefix: bytes = b"") -> Any:
+    """Read one frame; ``prefix`` is header bytes the caller already read.
+
+    The daemon's drain path polls for the first header byte with a
+    timeout (so idle connections notice shutdown) and then hands it
+    here to finish the frame blocking — a frame that has started
+    arriving is always completed, never torn.
+    """
+    header = prefix + _recv_exact(sock, 5 - len(prefix))
     (length,) = struct.unpack(">I", header[:4])
     tag = header[4:5]
     if length > MAX_FRAME_BYTES:
@@ -113,10 +140,16 @@ class RemoteBackend(StoreBackend):
 
     name = "remote"
 
-    def __init__(self, url: str, retries: int | None = None) -> None:
+    def __init__(
+        self,
+        url: str,
+        retries: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
         self.url = url
         self.host, self.port = parse_url(url)
         self.retries = default_retries() if retries is None else max(1, retries)
+        self.timeout = default_timeout() if timeout is None else timeout
         self._sock: socket.socket | None = None
         self._pid = os.getpid()
         import threading
@@ -133,8 +166,10 @@ class RemoteBackend(StoreBackend):
             self._sock = None
             self._pid = os.getpid()
         if self._sock is None:
+            # create_connection leaves the timeout on the socket, so it
+            # also bounds every later send/recv — the hung-daemon guard.
             sock = socket.create_connection(
-                (self.host, self.port), timeout=30.0
+                (self.host, self.port), timeout=self.timeout
             )
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock = sock
@@ -152,12 +187,28 @@ class RemoteBackend(StoreBackend):
         """One request/response with retry; ``default`` after degrade."""
         if self._failed:
             return default
+        # Fault injection (no-ops unless REPRO_CHAOS configures a site):
+        # each fault fails only the first attempt, so the injected error
+        # travels the real reconnect/retry/backoff path below.
+        from repro.harness import chaos
+
+        is_commit = message.get("op") == "commit"
+        inject_drop = chaos.trip("drop_conn")
+        inject_fail = is_commit and chaos.trip("commit_fail")
+        inject_slow = is_commit and chaos.trip("commit_slow")
         with self._lock:
             last_error: Exception | None = None
             for attempt in range(self.retries):
                 if attempt:
                     time.sleep(_RETRY_BASE_SECONDS * (2 ** (attempt - 1)))
                 try:
+                    if attempt == 0 and inject_drop:
+                        self._drop_socket()
+                        raise ConnectionError("chaos: connection dropped")
+                    if attempt == 0 and inject_fail:
+                        raise ConnectionError("chaos: commit failed")
+                    if attempt == 0 and inject_slow:
+                        time.sleep(chaos.slow_seconds())
                     sock = self._connected()
                     send_frame(sock, message)
                     reply = recv_frame(sock)
@@ -221,6 +272,18 @@ class RemoteBackend(StoreBackend):
                 "budget": budget,
                 "protected": sorted(protected),
             },
+            None,
+        )
+
+    def queue_op(self, queue: str, op: str, args: dict) -> object:
+        """Forward one claim-queue op; the daemon's lock makes it atomic.
+
+        ``None`` (daemon unreachable / backend degraded) is the
+        coordination-lost sentinel — the work-stealing client reconnects
+        or gives up, it never treats ``None`` as an answer.
+        """
+        return self._request(
+            {"op": "queue", "queue": queue, "qop": op, "args": dict(args)},
             None,
         )
 

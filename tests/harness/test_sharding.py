@@ -428,6 +428,135 @@ class TestCliRetryWorkflow:
         assert not (tmp_path / "r.pkl").exists()
 
 
+KILLED_SHARD = """
+import sys
+from repro.datasets import m2h
+from repro.harness import sharding
+from repro.harness.runner import LrsynHtmlMethod, run_m2h_experiment
+
+PROVIDERS = ["getthere", "delta"]
+
+def graph():
+    return [(p, f) for p in PROVIDERS for f in m2h.fields_for(p)]
+
+def small_run(methods, tasks, seed):
+    return run_m2h_experiment(
+        methods, providers=PROVIDERS, train_size=4, test_size=6,
+        seed=seed, tasks=tasks,
+    )
+
+sharding.EXPERIMENTS["toy"] = sharding.Experiment(
+    "toy", settings=lambda: ("contemporary",), tasks=graph,
+    methods=lambda: [LrsynHtmlMethod()], run=small_run,
+)
+sys.exit(sharding.main(
+    ["run", "--experiment", "toy", "--shard", "1/2", "--out", sys.argv[1]]
+))
+"""
+
+
+class TestCrashMidFlush:
+    """A worker SIGKILLed inside its partial write leaves a torn file;
+    the merge must tolerate it, report the exact residual, and a retry
+    must complete byte-identical to the unsharded baseline."""
+
+    def test_truncated_partial_is_skipped_not_fatal(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.harness import chaos
+
+        monkeypatch.setattr(chaos, "kill", lambda: None)  # observe, survive
+        partial = make_partial(sharding.ShardSpec(0, 2))
+        path = tmp_path / "torn.pkl"
+        chaos.reset("truncate_partial=1")
+        try:
+            sharding.save_partial(path, partial)
+        finally:
+            chaos.reset("")
+        assert path.exists()
+        with pytest.raises(Exception):
+            sharding.load_partial(path)
+        loaded, skipped = sharding._load_partials_tolerant([str(path)])
+        assert loaded == []
+        assert skipped == [str(path)]
+        # No tmp-file debris: the torn write modeled dying inside
+        # write(), the atomic path leaves nothing behind either way.
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_sigkill_mid_flush_then_retry_completes_identical(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+        from pathlib import Path as _Path
+
+        part0 = tmp_path / "part0.pkl"
+        torn = tmp_path / "part1.pkl"
+        merged = tmp_path / "merged.pkl"
+        residual = tmp_path / "residual.pkl"
+        baseline = tmp_path / "baseline.pkl"
+
+        # The subprocess registers the same toy experiment by the same
+        # name, so every partial here shares one graph digest.
+        monkeypatch.setitem(
+            sharding.EXPERIMENTS,
+            "toy",
+            sharding.Experiment(
+                "toy",
+                settings=lambda: ("contemporary",),
+                tasks=graph,
+                methods=lambda: [LrsynHtmlMethod()],
+                run=small_run,
+            ),
+        )
+        assert sharding.main(
+            ["run", "--experiment", "toy", "--shard", "0/2",
+             "--out", str(part0)]
+        ) == 0
+        assert sharding.main(
+            ["run", "--experiment", "toy", "--out", str(baseline)]
+        ) == 0
+
+        # Shard 1 runs in a real subprocess and is SIGKILLed inside its
+        # partial flush (chaos site truncate_partial).
+        env = dict(os.environ)
+        src = str(_Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_CHAOS"] = "truncate_partial=1"
+        proc = subprocess.run(
+            [_sys.executable, "-c", KILLED_SHARD, str(torn)],
+            env=env, capture_output=True, timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        assert torn.exists()
+        capsys.readouterr()
+
+        # Merge tolerates the torn file and reports the exact residual.
+        missing = sharding.assign(graph(), sharding.ShardSpec(1, 2))
+        code = sharding.main(
+            ["merge", str(part0), str(torn), "--out", str(merged)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "skipping unreadable partial" in out
+        assert "MERGE INCOMPLETE" in out
+        for task in missing:
+            assert " / ".join(task) in out
+
+        # Retry reruns precisely the lost tasks; the completed merge is
+        # byte-identical to the unsharded baseline.
+        assert sharding.main(
+            ["retry", str(part0), "--out", str(residual)]
+        ) == 0
+        assert sharding.load_partial(residual)["owned"] == missing
+        assert sharding.main(
+            ["merge", str(part0), str(residual), "--out", str(merged)]
+        ) == 0
+        assert sharding.main(["diff", str(merged), str(baseline)]) == 0
+
+
 class TestEnvIntegration:
     def test_experiment_driver_honours_repro_shard(
         self, monkeypatch, baseline_scores

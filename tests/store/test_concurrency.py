@@ -100,6 +100,127 @@ class TestDaemonMultiWriter:
         assert on_disk["by_kind"]["html/dist"] == via_daemon["by_kind"]["html/dist"]
 
 
+CLAIMER = """
+import sys, time
+from repro.harness.queue import ClaimQueue
+
+directory, backend, url, worker = sys.argv[1:5]
+queue = ClaimQueue(
+    "conc", spec=backend, directory=directory, url=url or None, grace=30.0
+)
+won = []
+while True:
+    grant = queue.claim(worker, 30.0)
+    if grant["status"] == "drained":
+        break
+    if grant["status"] == "wait":
+        time.sleep(0.02)
+        continue
+    time.sleep(0.005)  # widen the race window between claim and complete
+    if queue.complete(worker, grant["member"]):
+        won.append(grant["member"])
+queue.close()
+sys.stdout.write("\\n".join(won))
+"""
+
+
+def run_claimers(directory, backend, url=""):
+    """Two processes race one 30-task queue; returns their won members."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", CLAIMER, str(directory), backend, url,
+             f"w{index}"],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        for index in range(2)
+    ]
+    won = []
+    for proc in procs:
+        stdout, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 0, stderr.decode()
+        won.append([m for m in stdout.decode().splitlines() if m])
+    return won
+
+
+class TestQueueClaimExclusivity:
+    TASKS = [[f"p{index:02d}", "F"] for index in range(30)]
+
+    def _seed(self, backend):
+        assert backend.queue_op("conc", "sync", {"tasks": self.TASKS}) == {
+            "added": 30, "total": 30,
+        }
+
+    def assert_tiled(self, won, backend):
+        flat = [member for part in won for member in part]
+        # Every task completed by exactly one process: the claim CAS
+        # under the backend's exclusion mechanism never double-grants.
+        assert len(flat) == len(set(flat)) == 30
+        snapshot = backend.queue_op("conc", "snapshot", {})
+        assert snapshot["states"] == {"pending": 0, "claimed": 0, "done": 30}
+        assert snapshot["attempts"] == 30  # no steals: nobody died
+
+    def test_sqlite_file_lock_serializes_claims(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "shared")
+        self._seed(backend)
+        won = run_claimers(tmp_path / "shared", "sqlite")
+        self.assert_tiled(won, backend)
+        backend.close()
+
+    def test_daemon_dispatch_lock_serializes_claims(self, tmp_path):
+        daemon = StoreDaemon(SqliteBackend(tmp_path / "served"))
+        daemon.start()
+        try:
+            self._seed(daemon.backend)
+            won = run_claimers(tmp_path / "client", "remote", daemon.url)
+            self.assert_tiled(won, daemon.backend)
+        finally:
+            daemon.stop()
+
+
+class TestQueueSurvivesDaemonRestart:
+    def test_rows_persist_across_daemon_generations(self, tmp_path):
+        """Queue rows live in the daemon's backing store like any other
+        kind, so a restarted daemon resumes the queue mid-flight."""
+        from repro.store.remote import RemoteBackend
+
+        first = StoreDaemon(SqliteBackend(tmp_path / "served"))
+        first.start()
+        client = RemoteBackend(first.url)
+        client.queue_op(
+            "restartq", "sync", {"tasks": [["p", "A"], ["p", "B"]]}
+        )
+        grant = client.queue_op(
+            "restartq", "claim", {"worker": "w0", "lease": 30.0}
+        )
+        assert client.queue_op(
+            "restartq", "complete",
+            {"worker": "w0", "member": grant["member"]},
+        ) == {"ok": True}
+        client.close()
+        first.stop()
+
+        second = StoreDaemon(SqliteBackend(tmp_path / "served"))
+        second.start()
+        try:
+            client = RemoteBackend(second.url)
+            snapshot = client.queue_op("restartq", "snapshot", {})
+            assert snapshot["total"] == 2
+            assert snapshot["states"]["done"] == 1
+            # The surviving pending task is still claimable.
+            grant = client.queue_op(
+                "restartq", "claim", {"worker": "w1", "lease": 30.0}
+            )
+            assert grant["status"] == "claimed"
+            client.close()
+        finally:
+            second.stop()
+
+
 class TestGcVsWarmReader:
     def test_gc_never_evicts_current_generation_warm_keys(self, tmp_path):
         directory = tmp_path / "store"

@@ -2,6 +2,9 @@
 
 import math
 import socket
+import struct
+import threading
+import time
 import warnings
 
 import pytest
@@ -12,6 +15,7 @@ from repro.store.memory import MemoryBackend
 from repro.store.remote import (
     JSON_TAG,
     RemoteBackend,
+    default_timeout,
     parse_url,
     recv_frame,
     send_frame,
@@ -83,6 +87,99 @@ class TestSharing:
         # The daemon survived and still answers.
         assert backend.ping()
         backend.close()
+
+
+class TestTimeoutKnob:
+    def test_default_is_thirty_seconds(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_TIMEOUT", raising=False)
+        assert default_timeout() == 30.0
+
+    def test_parses_seconds_with_a_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "2.5")
+        assert default_timeout() == 2.5
+        # A zero/negative timeout would make every socket op fail
+        # instantly; clamp instead of letting a typo kill the run.
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "0")
+        assert default_timeout() == 0.1
+
+    def test_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_STORE_TIMEOUT"):
+            default_timeout()
+
+    def test_backend_reads_env_and_param_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "5")
+        backend = RemoteBackend("tcp://127.0.0.1:1")
+        assert backend.timeout == 5.0
+        explicit = RemoteBackend("tcp://127.0.0.1:1", timeout=1.5)
+        assert explicit.timeout == 1.5
+        backend.close()
+        explicit.close()
+
+    def test_timeout_rides_the_live_socket(self, daemon, monkeypatch):
+        # create_connection leaves the timeout on the socket, so it also
+        # bounds every later send/recv — the hung-daemon guard.
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "7")
+        backend = RemoteBackend(daemon.url)
+        assert backend.ping()
+        assert backend._sock.gettimeout() == 7.0
+        backend.close()
+
+
+class TestGracefulDrain:
+    def _frame(self, payload):
+        import json
+
+        body = json.dumps(payload).encode("utf-8")
+        return struct.pack(">I", len(body)) + JSON_TAG + body
+
+    def test_idle_connections_close_on_stop(self, tmp_path):
+        daemon = StoreDaemon(SqliteBackend(tmp_path / "served"))
+        daemon.start()
+        with socket.create_connection(daemon.address, timeout=10.0) as sock:
+            sock.sendall(self._frame({"op": "ping"}))
+            assert recv_frame(sock) == {"ok": True, "result": True}
+            start = time.monotonic()
+            stopper = threading.Thread(target=daemon.stop)
+            stopper.start()
+            # The idle handler notices the drain within a poll interval
+            # and closes — recv sees EOF, not a hang until severance.
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""
+            stopper.join(timeout=10.0)
+            assert time.monotonic() - start < 5.0
+
+    def test_inflight_frame_is_answered_before_close(self, tmp_path):
+        """A frame that has started arriving when SIGTERM lands is read
+        to the end, dispatched, and answered — never dropped."""
+        daemon = StoreDaemon(SqliteBackend(tmp_path / "served"))
+        daemon.start()
+        frame = self._frame({"op": "stats"})
+        with socket.create_connection(daemon.address, timeout=10.0) as sock:
+            sock.sendall(frame[:2])  # the handler is now mid-header
+            time.sleep(0.1)
+            stopper = threading.Thread(target=daemon.stop)
+            stopper.start()
+            time.sleep(0.3)  # drain is in progress, our frame in flight
+            sock.sendall(frame[2:])
+            reply = recv_frame(sock)
+            assert reply["ok"] is True
+            assert reply["result"]["entries"] == 0
+            # Served, then parted company: the connection closes.
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""
+            stopper.join(timeout=10.0)
+            assert not stopper.is_alive()
+
+    def test_shutdown_op_stops_and_drains(self, tmp_path):
+        daemon = StoreDaemon(SqliteBackend(tmp_path / "served"))
+        daemon.start()
+        backend = RemoteBackend(daemon.url)
+        backend.shutdown_server()
+        backend.close()
+        assert daemon._stopped.wait(timeout=10.0)
+        with pytest.raises(OSError):
+            socket.create_connection(daemon.address, timeout=1.0)
 
 
 class TestDegrade:
