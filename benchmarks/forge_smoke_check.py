@@ -1,0 +1,158 @@
+"""CI forge-smoke gate: the synthetic document forge is deterministic and
+shardable.
+
+Two checks, both against subprocess arms pinned to **distinct
+``PYTHONHASHSEED``** values (the way real shard jobs land on different
+machines):
+
+1. *Corpus determinism* — two independent generator invocations
+   (``python -m repro.datasets.forge``) must print byte-identical
+   per-provider corpus digests, covering HTML sources, degraded image-box
+   fingerprints and ground truth.
+2. *Shard equivalence* — a 2-shard ``forge_html`` run merged must be
+   byte-identical (canonical score dump + rendered tables) to the
+   unsharded baseline, with the forge scale knobs riding through the
+   subprocess environment and the ``Experiment.config`` digest guard.
+
+The verdicts and summed wall-clock land in the synthesis-speed trajectory
+so CI artifacts record the evidence.
+
+Usage::
+
+    python benchmarks/forge_smoke_check.py [--scale 0.15]
+        [--providers 3] [--docs 40] [--shards 2] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))  # for benchmarks.common
+
+from benchmarks.common import run_shard_subprocess  # noqa: E402
+
+TRAJECTORY = REPO / "benchmarks" / "results" / "BENCH_synthesis_speed.json"
+
+
+def generator_digests(
+    providers: int, docs: int, seed: int, hash_seed: int
+) -> str:
+    env = {**os.environ, "PYTHONHASHSEED": str(hash_seed)}
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.datasets.forge",
+            "--providers", str(providers), "--docs", str(docs),
+            "--seed", str(seed),
+        ],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    return proc.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="0.15")
+    parser.add_argument("--providers", type=int, default=3)
+    parser.add_argument("--docs", type=int, default=40)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.harness import sharding
+    from repro.harness.reporting import record_synthesis_speed
+
+    forge_env = {
+        "REPRO_FORGE_PROVIDERS": str(args.providers),
+        "REPRO_FORGE_DOCS": str(args.docs),
+    }
+    os.environ.update(forge_env)  # render_tables consults the registry
+
+    print(
+        f"forge-smoke: {args.providers} providers x {args.docs} docs,"
+        f" scale {args.scale}, {args.shards} shards,"
+        " one hash seed per arm"
+    )
+
+    failures = 0
+    first = generator_digests(args.providers, 16, args.seed, hash_seed=1)
+    second = generator_digests(args.providers, 16, args.seed, hash_seed=2)
+    corpora_ok = bool(first.strip()) and first == second
+    failures += 0 if corpora_ok else 1
+    print(
+        f"  generator determinism across hash seeds:"
+        f" {'IDENTICAL' if corpora_ok else 'MISMATCH'}"
+        f" ({len(first.splitlines())} providers)"
+    )
+
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="forge-smoke-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        baseline_path = tmp_path / "baseline.pkl"
+        run_shard_subprocess(
+            "forge_html", "0/1", args.seed, args.scale, baseline_path,
+            hash_seed=3, extra_env=forge_env,
+        )
+        baseline = sharding.load_partial(baseline_path)
+        partials = []
+        for index in range(args.shards):
+            path = tmp_path / f"part-{index}.pkl"
+            run_shard_subprocess(
+                "forge_html", f"{index}/{args.shards}", args.seed,
+                args.scale, path, hash_seed=4 + index, extra_env=forge_env,
+            )
+            partials.append(sharding.load_partial(path))
+        merged = sharding.merge_partials(partials)
+        scores_ok = sharding.canonical_scores(
+            sharding.flat_results(merged)
+        ) == sharding.canonical_scores(sharding.flat_results(baseline))
+        tables_ok = sharding.render_tables(merged) == sharding.render_tables(
+            baseline
+        )
+        failures += 0 if scores_ok and tables_ok else 1
+        wall = time.perf_counter() - start
+        print(
+            f"  N={args.shards}: merged"
+            f" {'IDENTICAL' if scores_ok and tables_ok else 'MISMATCH'}"
+            f" (scores={'ok' if scores_ok else 'DIFF'},"
+            f" tables={'ok' if tables_ok else 'DIFF'}),"
+            f" {len(baseline['graph'])} tasks, {wall:.2f}s"
+        )
+        record_synthesis_speed(
+            TRAJECTORY,
+            "forge_smoke",
+            wall,
+            merged["timer"],
+            scale=float(args.scale),
+            shards=args.shards,
+            providers=args.providers,
+            docs=args.docs,
+            identical=scores_ok and tables_ok and corpora_ok,
+        )
+
+    if failures:
+        print(f"FAIL: {failures} forge-smoke check(s) diverged")
+        return 1
+    print(
+        "PASS: forged corpora regenerate byte-identically and the sharded"
+        " merge equals the unsharded run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,473 @@
+"""Drift and degradation transforms for the synthetic document forge.
+
+Two families, mirroring the paper's two robustness axes:
+
+* **HTML drift** — the longitudinal-snapshot perturbations (DOM shuffles,
+  wrapper div churn, CSS-class renames, label rewording, injected noise
+  blocks) operate on the forge's layout IR (:class:`PageLayout`), *not* on
+  rendered markup.  Annotated value cells are opaque to every transform,
+  so ground truth survives by construction: a transform can move, re-wrap,
+  re-class or re-label structure around a value but never touch the value
+  node itself, and no field's values ever span two sections, so section
+  permutations preserve per-field document order.
+* **Scan degradation** — rotation, blur, coordinate noise, downsampling
+  and page translation over :class:`~repro.images.boxes.ImageDocument`
+  pages (the shape of ``generate_test_data.py``'s ``apply_scan_effects``).
+  Box text and ground-truth ``tags`` are carried over verbatim; only
+  geometry moves, so annotations survive while fingerprints change.
+
+Every transform is a pure function ``(input, rng) -> output`` of its
+arguments and the :class:`random.Random` stream — no global state, no
+set/dict iteration — so forged corpora are byte-identical across processes
+and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import copy
+import html
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.base import annotation_attr
+from repro.images.boxes import ImageDocument, TextBox
+
+__all__ = [
+    "Cell",
+    "Row",
+    "Section",
+    "PageLayout",
+    "render_html",
+    "shuffle_sections",
+    "wrapper_churn",
+    "rename_classes",
+    "reword_labels",
+    "inject_noise",
+    "apply_drift",
+    "HTML_DRIFT_TRANSFORMS",
+    "rotate_scan",
+    "blur_scan",
+    "noise_scan",
+    "downsample_scan",
+    "translate_scan",
+    "apply_scan_effects",
+    "SCAN_TRANSFORMS",
+    "ScanProfile",
+    "TRAIN_SCAN",
+    "TEST_SCAN",
+]
+
+
+# ----------------------------------------------------------------------
+# Layout IR
+# ----------------------------------------------------------------------
+@dataclass
+class Cell:
+    """One leaf node: a value (``field`` set), a label (``label_for``
+    set), or plain decoration.  ``value`` defaults to ``text`` — the
+    annotated value is what lands in the ``data-f-*`` attribute."""
+
+    text: str
+    field: str | None = None
+    value: str | None = None
+    classes: tuple[str, ...] = ()
+    dom_id: str | None = None
+    tag: str = ""  # "" = td in table rows / th in header rows / span in divs
+    label_for: str | None = None
+
+
+@dataclass
+class Row:
+    cells: list[Cell]
+    tag: str = "tr"  # "tr" or "div"
+    classes: tuple[str, ...] = ()
+    header: bool = False  # th cells when a table row
+
+
+@dataclass
+class Section:
+    """One top-level block.  ``roi`` marks regions carrying field values;
+    drift may permute whole sections but a field's values always live in
+    a single section, so per-field annotation order is permutation-proof."""
+
+    kind: str
+    tag: str  # "table" or "div"
+    rows: list[Row]
+    classes: tuple[str, ...] = ()
+    roi: bool = False
+    wrappers: tuple[str, ...] = ()  # churned wrapper-div classes, inner first
+
+
+@dataclass
+class PageLayout:
+    title: str
+    sections: list[Section]
+    wrappers: tuple[str, ...] = field(default=())
+
+
+def _cell_tag(cell: Cell, row: Row) -> str:
+    if cell.tag:
+        return cell.tag
+    if row.tag == "tr":
+        return "th" if row.header else "td"
+    return "span"
+
+
+def _class_attr(classes: tuple[str, ...]) -> str:
+    return f' class="{" ".join(classes)}"' if classes else ""
+
+
+def _render_cell(cell: Cell, row: Row) -> str:
+    tag = _cell_tag(cell, row)
+    attrs = ""
+    if cell.field is not None:
+        value = cell.value if cell.value is not None else cell.text
+        attrs += (
+            f' {annotation_attr(cell.field)}="{html.escape(value, quote=True)}"'
+        )
+    attrs += _class_attr(cell.classes)
+    if cell.dom_id:
+        attrs += f' id="{cell.dom_id}"'
+    return f"<{tag}{attrs}>{html.escape(cell.text)}</{tag}>"
+
+
+def _render_row(row: Row) -> str:
+    cells = "".join(_render_cell(cell, row) for cell in row.cells)
+    return f"<{row.tag}{_class_attr(row.classes)}>{cells}</{row.tag}>"
+
+
+def _render_section(section: Section) -> str:
+    rows = "".join(_render_row(row) for row in section.rows)
+    markup = f"<{section.tag}{_class_attr(section.classes)}>{rows}</{section.tag}>"
+    for wrapper in section.wrappers:
+        markup = f'<div class="{wrapper}">{markup}</div>'
+    return markup
+
+
+def render_html(layout: PageLayout) -> str:
+    """Serialize the IR to the markup the tolerant parser consumes."""
+    body = "".join(_render_section(section) for section in layout.sections)
+    for wrapper in layout.wrappers:
+        body = f'<div class="{wrapper}">{body}</div>'
+    title = html.escape(layout.title)
+    return f"<html><head><title>{title}</title></head><body>{body}</body></html>"
+
+
+def _fresh_class(rng: random.Random) -> str:
+    return "c" + "".join(rng.choice("0123456789abcdef") for _ in range(6))
+
+
+# ----------------------------------------------------------------------
+# HTML drift transforms (longitudinal snapshots)
+# ----------------------------------------------------------------------
+def shuffle_sections(layout: PageLayout, rng: random.Random) -> PageLayout:
+    """Permute top-level sections (the DOM shuffle).
+
+    Guaranteed to change the serialization when the page has more than
+    one section: an identity shuffle falls back to a rotation.
+    """
+    drifted = copy.deepcopy(layout)
+    sections = list(drifted.sections)
+    rng.shuffle(sections)
+    if sections == drifted.sections and len(sections) > 1:
+        sections.append(sections.pop(0))
+    drifted.sections = sections
+    return drifted
+
+
+def wrapper_churn(layout: PageLayout, rng: random.Random) -> PageLayout:
+    """Grow fresh wrapper divs around the page and around some sections."""
+    drifted = copy.deepcopy(layout)
+    drifted.wrappers = tuple(drifted.wrappers) + tuple(
+        _fresh_class(rng) for _ in range(rng.randint(1, 2))
+    )
+    for section in drifted.sections:
+        if rng.random() < 0.5:
+            section.wrappers = tuple(section.wrappers) + (_fresh_class(rng),)
+    return drifted
+
+
+def rename_classes(layout: PageLayout, rng: random.Random) -> PageLayout:
+    """Consistently rename every CSS class on the page."""
+    drifted = copy.deepcopy(layout)
+    seen: list[str] = []
+
+    def note(classes: tuple[str, ...]) -> None:
+        for name in classes:
+            if name not in seen:
+                seen.append(name)
+
+    note(drifted.wrappers)
+    for section in drifted.sections:
+        note(section.classes)
+        note(section.wrappers)
+        for row in section.rows:
+            note(row.classes)
+            for cell in row.cells:
+                note(cell.classes)
+    mapping = {name: _fresh_class(rng) for name in seen}
+
+    def remap(classes: tuple[str, ...]) -> tuple[str, ...]:
+        return tuple(mapping[name] for name in classes)
+
+    drifted.wrappers = remap(drifted.wrappers)
+    for section in drifted.sections:
+        section.classes = remap(section.classes)
+        section.wrappers = remap(section.wrappers)
+        for row in section.rows:
+            row.classes = remap(row.classes)
+            for cell in row.cells:
+                cell.classes = remap(cell.classes)
+    return drifted
+
+
+def reword_labels(layout: PageLayout, rng: random.Random) -> PageLayout:
+    """Swap every field label for a different wording from its pool."""
+    from repro.datasets import forge
+
+    drifted = copy.deepcopy(layout)
+    for section in drifted.sections:
+        for row in section.rows:
+            for cell in row.cells:
+                if cell.label_for is None:
+                    continue
+                suffix = ":" if cell.text.endswith(":") else ""
+                base = cell.text[: -1] if suffix else cell.text
+                pool = [
+                    wording
+                    for wording in forge.LABEL_POOL[cell.label_for]
+                    if wording != base
+                ]
+                if pool:
+                    cell.text = rng.choice(pool) + suffix
+    return drifted
+
+
+_NOISE_BLURBS = (
+    "Limited time offer — free shipping on your next order.",
+    "Thank you for your business.",
+    "Questions? Visit our help center any time.",
+    "This message was sent automatically; replies are not monitored.",
+    "Earn double loyalty points on your next purchase.",
+    "Download our app for live delivery tracking.",
+)
+
+
+def inject_noise(layout: PageLayout, rng: random.Random) -> PageLayout:
+    """Insert a decorative banner section at a random position."""
+    drifted = copy.deepcopy(layout)
+    banner = Section(
+        kind="banner",
+        tag="div",
+        classes=(_fresh_class(rng),),
+        rows=[Row(tag="div", cells=[Cell(text=rng.choice(_NOISE_BLURBS))])],
+    )
+    drifted.sections.insert(rng.randint(0, len(drifted.sections)), banner)
+    return drifted
+
+
+# Applied cumulatively: snapshot k gets the first 2k stages, so later
+# longitudinal snapshots drift monotonically further from contemporary.
+DRIFT_STAGES = (
+    inject_noise,
+    wrapper_churn,
+    shuffle_sections,
+    rename_classes,
+    reword_labels,
+)
+
+HTML_DRIFT_TRANSFORMS = {
+    "shuffle_sections": shuffle_sections,
+    "wrapper_churn": wrapper_churn,
+    "rename_classes": rename_classes,
+    "reword_labels": reword_labels,
+    "inject_noise": inject_noise,
+}
+
+
+def apply_drift(
+    layout: PageLayout, snapshot: int, rng: random.Random
+) -> PageLayout:
+    """Drift ``layout`` to longitudinal snapshot ``snapshot`` (1-based)."""
+    for transform in DRIFT_STAGES[: max(0, snapshot) * 2]:
+        layout = transform(layout, rng)
+    return layout
+
+
+# ----------------------------------------------------------------------
+# Scan degradation transforms (image providers)
+# ----------------------------------------------------------------------
+def _signed(rng: random.Random, low: float, high: float) -> float:
+    """A magnitude in ``[low, high]`` with a random sign — bounded away
+    from zero so each transform provably moves geometry."""
+    magnitude = rng.uniform(low, high)
+    return magnitude if rng.random() < 0.5 else -magnitude
+
+
+def _rebuilt(box: TextBox, x: float, y: float, w: float, h: float) -> TextBox:
+    return TextBox(box.text, x, y, w, h, tags=dict(box.tags))
+
+
+def rotate_scan(
+    doc: ImageDocument, rng: random.Random, max_degrees: float = 2.0
+) -> ImageDocument:
+    """Skew the page a few degrees around its centroid (crooked feed)."""
+    boxes = list(doc.boxes)
+    if not boxes:
+        return ImageDocument([])
+    angle = math.radians(_signed(rng, max_degrees / 4.0, max_degrees))
+    cos, sin = math.cos(angle), math.sin(angle)
+    cx = sum(box.cx for box in boxes) / len(boxes)
+    cy = sum(box.cy for box in boxes) / len(boxes)
+    rotated = []
+    for box in boxes:
+        dx, dy = box.cx - cx, box.cy - cy
+        ncx = cx + dx * cos - dy * sin
+        ncy = cy + dx * sin + dy * cos
+        rotated.append(
+            _rebuilt(box, ncx - box.w / 2.0, ncy - box.h / 2.0, box.w, box.h)
+        )
+    return ImageDocument(rotated)
+
+
+def blur_scan(
+    doc: ImageDocument, rng: random.Random, spread: float = 1.5
+) -> ImageDocument:
+    """Dilate box extents, as blurred glyph edges inflate OCR rectangles."""
+    blurred = []
+    for box in doc.boxes:
+        grow = rng.uniform(spread / 2.0, spread)
+        blurred.append(
+            _rebuilt(
+                box,
+                box.x - grow / 2.0,
+                box.y - grow / 4.0,
+                box.w + grow,
+                box.h + grow / 2.0,
+            )
+        )
+    return ImageDocument(blurred)
+
+
+def noise_scan(
+    doc: ImageDocument, rng: random.Random, amplitude: float = 1.5
+) -> ImageDocument:
+    """Independent per-box coordinate jitter (sensor noise)."""
+    return ImageDocument(
+        [
+            _rebuilt(
+                box,
+                box.x + _signed(rng, amplitude / 4.0, amplitude),
+                box.y + _signed(rng, amplitude / 4.0, amplitude),
+                box.w,
+                box.h,
+            )
+            for box in doc.boxes
+        ]
+    )
+
+
+def downsample_scan(
+    doc: ImageDocument, rng: random.Random, grid: float = 3.0
+) -> ImageDocument:
+    """Quantize geometry to a coarse pixel grid (low-DPI rescan)."""
+
+    def snap(value: float) -> float:
+        return round(value / grid) * grid
+
+    quantized = [
+        _rebuilt(
+            box,
+            snap(box.x),
+            snap(box.y),
+            max(grid, snap(box.w)),
+            max(grid, snap(box.h)),
+        )
+        for box in doc.boxes
+    ]
+    out = ImageDocument(quantized)
+    if doc.boxes and out.fingerprint() == doc.fingerprint():
+        # Geometry happened to sit on the grid already; shift half a cell
+        # so the degradation is never a no-op.
+        out = ImageDocument(
+            [
+                _rebuilt(box, box.x + grid / 2.0, box.y, box.w, box.h)
+                for box in quantized
+            ]
+        )
+    return out
+
+
+def translate_scan(
+    doc: ImageDocument, rng: random.Random, max_offset: float = 24.0
+) -> ImageDocument:
+    """Shift the whole page (paper placed off-center on the platen)."""
+    dx = _signed(rng, max_offset / 4.0, max_offset)
+    dy = _signed(rng, max_offset / 4.0, max_offset)
+    return ImageDocument(
+        [_rebuilt(box, box.x + dx, box.y + dy, box.w, box.h) for box in doc.boxes]
+    )
+
+
+SCAN_TRANSFORMS = {
+    "rotate": rotate_scan,
+    "blur": blur_scan,
+    "noise": noise_scan,
+    "downsample": downsample_scan,
+    "translate": translate_scan,
+}
+
+
+@dataclass(frozen=True)
+class ScanProfile:
+    """Degradation intensity knobs for one corpus split."""
+
+    name: str
+    rotate_probability: float
+    max_degrees: float
+    blur_probability: float
+    blur_spread: float
+    noise_amplitude: float
+    downsample_probability: float
+    grid: float
+    max_translation: float
+
+
+TRAIN_SCAN = ScanProfile(
+    name="train",
+    rotate_probability=0.3,
+    max_degrees=1.0,
+    blur_probability=0.15,
+    blur_spread=0.8,
+    noise_amplitude=0.6,
+    downsample_probability=0.1,
+    grid=2.0,
+    max_translation=6.0,
+)
+
+TEST_SCAN = ScanProfile(
+    name="test",
+    rotate_probability=0.6,
+    max_degrees=2.5,
+    blur_probability=0.35,
+    blur_spread=1.6,
+    noise_amplitude=1.2,
+    downsample_probability=0.3,
+    grid=3.0,
+    max_translation=18.0,
+)
+
+
+def apply_scan_effects(
+    doc: ImageDocument, rng: random.Random, profile: ScanProfile
+) -> ImageDocument:
+    """Degrade one page; each effect fires independently per document."""
+    if rng.random() < profile.rotate_probability:
+        doc = rotate_scan(doc, rng, profile.max_degrees)
+    if rng.random() < profile.blur_probability:
+        doc = blur_scan(doc, rng, profile.blur_spread)
+    doc = noise_scan(doc, rng, profile.noise_amplitude)
+    if rng.random() < profile.downsample_probability:
+        doc = downsample_scan(doc, rng, profile.grid)
+    return translate_scan(doc, rng, profile.max_translation)

@@ -1,0 +1,246 @@
+"""Forge experiment drivers: the synthetic corpus as a first-class workload.
+
+``forge_html`` evaluates NDSyn and LRSyn over the forged HTML providers in
+both settings (drifted longitudinal test pages); ``forge_images`` runs the
+image method set over degraded scans.  Both mirror the table drivers in
+:mod:`repro.harness.runner` / :mod:`repro.harness.images` exactly — corpus
+store, program store, ``REPRO_JOBS`` fan-out, ``REPRO_SHARD`` /
+packed-plan / work-queue task resolution — so the forge doubles as a
+store/scheduler stress workload at whatever size
+``REPRO_FORGE_PROVIDERS`` × ``REPRO_FORGE_DOCS`` dials in.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+from repro.core.caching import active_timer
+from repro.datasets import forge
+from repro.datasets.base import CONTEMPORARY, LONGITUDINAL, Corpus
+from repro.harness.runner import (
+    FieldResult,
+    LrsynHtmlMethod,
+    Method,
+    NdsynMethod,
+    cached_corpora,
+    evaluate_method,
+    jobs,
+    resolve_tasks,
+    run_field_jobs,
+    scale,
+)
+
+
+def forge_html_tasks() -> list[tuple[str, str]]:
+    return [
+        (provider, field)
+        for provider in forge.forge_providers()
+        for field in forge.fields_for(provider)
+    ]
+
+
+def forge_image_tasks() -> list[tuple[str, str]]:
+    return [
+        (provider, field)
+        for provider in forge.forge_providers()
+        for field in forge.image_fields_for(provider)
+    ]
+
+
+def forge_html_methods() -> list[Method]:
+    return [NdsynMethod(), LrsynHtmlMethod()]
+
+
+def forge_image_methods() -> list[Method]:
+    from repro.harness.images import AfrMethod, LrsynImageMethod
+
+    return [AfrMethod(), LrsynImageMethod()]
+
+
+def forge_html_sizes() -> tuple[int, int]:
+    """(train, test) per provider: ``REPRO_FORGE_DOCS`` split 1:3, scaled."""
+    docs = forge.forge_docs()
+    return (
+        max(3, round(docs * 0.25 * scale())),
+        max(4, round(docs * 0.75 * scale())),
+    )
+
+
+def forge_image_sizes() -> tuple[int, int]:
+    """Image pages cost far more than HTML pages; keep the split smaller."""
+    docs = forge.forge_docs()
+    return (
+        max(3, round(docs * 0.12 * scale())),
+        max(4, round(docs * 0.30 * scale())),
+    )
+
+
+def forge_corpora(
+    provider: str, train_size: int, test_size: int, seed: int
+) -> dict[str, Corpus]:
+    """Contemporary + longitudinal forge corpora through the corpus cache."""
+    return cached_corpora(
+        "forge",
+        lambda: {
+            setting: forge.generate_corpus(
+                provider,
+                train_size=train_size,
+                test_size=test_size,
+                setting=setting,
+                seed=seed,
+            )
+            for setting in (CONTEMPORARY, LONGITUDINAL)
+        },
+        provider=provider,
+        train_size=train_size,
+        test_size=test_size,
+        seed=seed,
+    )
+
+
+def forge_image_corpus(
+    provider: str, train_size: int, test_size: int, seed: int
+) -> Corpus:
+    return cached_corpora(
+        "forge_images",
+        lambda: forge.generate_image_corpus(
+            provider, train_size=train_size, test_size=test_size, seed=seed
+        ),
+        provider=provider,
+        train_size=train_size,
+        test_size=test_size,
+        seed=seed,
+    )
+
+
+def run_forge_html_experiment(
+    methods: Sequence[Method] | None = None,
+    train_size: int | None = None,
+    test_size: int | None = None,
+    seed: int = 0,
+    shard=None,
+    tasks: Sequence[tuple[str, str]] | None = None,
+) -> list[FieldResult]:
+    """The forged-provider HTML experiment (both settings)."""
+    methods = list(methods) if methods is not None else forge_html_methods()
+    default_train, default_test = forge_html_sizes()
+    train_size = train_size if train_size is not None else default_train
+    test_size = test_size if test_size is not None else default_test
+    run_tasks = resolve_tasks(
+        forge_html_tasks(), shard, tasks, experiment="forge_html"
+    )
+    if jobs() > 1:
+        return run_field_jobs(
+            _forge_html_field_task,
+            [
+                (list(methods), provider, field, train_size, test_size, seed)
+                for provider, field in run_tasks
+            ],
+        )
+    results: list[FieldResult] = []
+    corpora: dict[str, Corpus] | None = None
+    current_provider: str | None = None
+    for provider, field in run_tasks:
+        # Same attribution as the M2H serial loop: the timing window
+        # includes the corpus build this task triggers.
+        with active_timer().task((provider, field)):
+            if provider != current_provider:
+                corpora = forge_corpora(provider, train_size, test_size, seed)
+                current_provider = provider
+            for method in methods:
+                results.extend(
+                    evaluate_method(method, corpora, provider, field)
+                )
+    return results
+
+
+def _forge_html_field_task(
+    methods: Sequence[Method],
+    provider: str,
+    field: str,
+    train_size: int,
+    test_size: int,
+    seed: int,
+) -> list[FieldResult]:
+    with active_timer().task((provider, field)):
+        corpora = _worker_forge_corpora(provider, train_size, test_size, seed)
+        results: list[FieldResult] = []
+        for method in methods:
+            results.extend(evaluate_method(method, corpora, provider, field))
+    return results
+
+
+@functools.lru_cache(maxsize=2)
+def _worker_forge_corpora(
+    provider: str, train_size: int, test_size: int, seed: int
+) -> dict[str, Corpus]:
+    return forge_corpora(provider, train_size, test_size, seed)
+
+
+def run_forge_images_experiment(
+    methods: Sequence[Method] | None = None,
+    train_size: int | None = None,
+    test_size: int | None = None,
+    seed: int = 0,
+    shard=None,
+    tasks: Sequence[tuple[str, str]] | None = None,
+) -> list[FieldResult]:
+    """The forged-provider degraded-scan experiment (contemporary only)."""
+    methods = list(methods) if methods is not None else forge_image_methods()
+    default_train, default_test = forge_image_sizes()
+    train_size = train_size if train_size is not None else default_train
+    test_size = test_size if test_size is not None else default_test
+    run_tasks = resolve_tasks(
+        forge_image_tasks(), shard, tasks, experiment="forge_images"
+    )
+    if jobs() > 1:
+        return run_field_jobs(
+            _forge_image_field_task,
+            [
+                (list(methods), provider, field, train_size, test_size, seed)
+                for provider, field in run_tasks
+            ],
+        )
+    results: list[FieldResult] = []
+    corpora: dict[str, Corpus] | None = None
+    current_provider: str | None = None
+    for provider, field in run_tasks:
+        with active_timer().task((provider, field)):
+            if provider != current_provider:
+                corpus = forge_image_corpus(
+                    provider, train_size, test_size, seed
+                )
+                corpora = {corpus.train[0].setting: corpus}
+                current_provider = provider
+            for method in methods:
+                results.extend(
+                    evaluate_method(method, corpora, provider, field)
+                )
+    return results
+
+
+def _forge_image_field_task(
+    methods: Sequence[Method],
+    provider: str,
+    field: str,
+    train_size: int,
+    test_size: int,
+    seed: int,
+) -> list[FieldResult]:
+    with active_timer().task((provider, field)):
+        corpus = _worker_forge_image_corpus(
+            provider, train_size, test_size, seed
+        )
+        corpora = {corpus.train[0].setting: corpus}
+        results: list[FieldResult] = []
+        for method in methods:
+            results.extend(evaluate_method(method, corpora, provider, field))
+    return results
+
+
+@functools.lru_cache(maxsize=2)
+def _worker_forge_image_corpus(
+    provider: str, train_size: int, test_size: int, seed: int
+) -> Corpus:
+    return forge_image_corpus(provider, train_size, test_size, seed)

@@ -131,7 +131,9 @@ def experiment_digest(experiment: str, seed: int = 0) -> str:
     registered = get_experiment(experiment)
     graph = [tuple(task) for task in registered.tasks()]
     method_names = [method.name for method in registered.methods()]
-    return _graph_digest(experiment, graph, seed, scale(), method_names)
+    return _graph_digest(
+        experiment, graph, seed, scale(), method_names, registered.config()
+    )
 
 
 class QueueUnavailableError(RuntimeError):
@@ -325,7 +327,9 @@ def work_shard(
     methods = methods if methods is not None else registered.methods()
     run = run if run is not None else registered.run
     method_names = [method.name for method in methods]
-    digest = _graph_digest(experiment, graph, seed, scale(), method_names)
+    digest = _graph_digest(
+        experiment, graph, seed, scale(), method_names, registered.config()
+    )
     lease = lease_seconds() if lease is None else lease
     poll = poll_seconds() if poll is None else poll
     label = shard if shard is not None else ShardSpec(0, 1)

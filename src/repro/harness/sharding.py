@@ -178,6 +178,10 @@ def field_task_key(result) -> TaskKey:
     return (result.provider, result.field)
 
 
+def _no_extra_config() -> str:
+    return ""
+
+
 @dataclass(frozen=True)
 class Experiment:
     """One schedulable experiment: canonical task graph plus driver.
@@ -186,6 +190,12 @@ class Experiment:
     task that produced it — the scheduler groups, validates and reorders
     results purely through this projection, so experiments are free to
     shape their task keys however their axes demand.
+
+    ``config`` names any extra environment the experiment's scores depend
+    on beyond (graph, seed, scale, methods) — e.g. the forge's corpus-size
+    knob, which changes scores without changing the task graph.  The
+    string is folded into the split digest so partials generated under
+    different configurations refuse to merge.
     """
 
     name: str
@@ -195,6 +205,7 @@ class Experiment:
     # run(methods, tasks, seed) -> list[FieldResult] in task order
     run: Callable[[list, list[TaskKey], int], list]
     result_key: Callable[[Any], TaskKey] = field_task_key
+    config: Callable[[], str] = _no_extra_config
 
 
 def _m2h_tasks() -> list[TaskKey]:
@@ -331,6 +342,48 @@ def _ablation_result_key(result) -> TaskKey:
     return (result.setting, result.provider, result.field)
 
 
+def _forge_config() -> str:
+    from repro.datasets import forge
+
+    return forge.config_fingerprint()
+
+
+def _forge_html_tasks() -> list[TaskKey]:
+    from repro.harness.forge import forge_html_tasks
+
+    return forge_html_tasks()
+
+
+def _forge_html_methods() -> list:
+    from repro.harness.forge import forge_html_methods
+
+    return forge_html_methods()
+
+
+def _forge_html_run(methods: list, tasks: list[TaskKey], seed: int) -> list:
+    from repro.harness.forge import run_forge_html_experiment
+
+    return run_forge_html_experiment(methods, seed=seed, tasks=tasks)
+
+
+def _forge_images_tasks() -> list[TaskKey]:
+    from repro.harness.forge import forge_image_tasks
+
+    return forge_image_tasks()
+
+
+def _forge_images_methods() -> list:
+    from repro.harness.forge import forge_image_methods
+
+    return forge_image_methods()
+
+
+def _forge_images_run(methods: list, tasks: list[TaskKey], seed: int) -> list:
+    from repro.harness.forge import run_forge_images_experiment
+
+    return run_forge_images_experiment(methods, seed=seed, tasks=tasks)
+
+
 EXPERIMENTS: dict[str, Experiment] = {
     "m2h": Experiment(
         "m2h", _m2h_settings, _m2h_tasks, _m2h_methods, _m2h_run
@@ -350,6 +403,17 @@ EXPERIMENTS: dict[str, Experiment] = {
     "ablations": Experiment(
         "ablations", _ablation_settings, _ablation_tasks,
         _ablation_methods, _ablation_run, _ablation_result_key,
+    ),
+    # The synthetic document forge (repro.datasets.forge): as many
+    # providers as REPRO_FORGE_PROVIDERS asks for, corpus sizes from
+    # REPRO_FORGE_DOCS — the store/scheduler stress workloads.
+    "forge_html": Experiment(
+        "forge_html", _m2h_settings, _forge_html_tasks,
+        _forge_html_methods, _forge_html_run, config=_forge_config,
+    ),
+    "forge_images": Experiment(
+        "forge_images", _image_settings, _forge_images_tasks,
+        _forge_images_methods, _forge_images_run, config=_forge_config,
     ),
 }
 
@@ -803,20 +867,26 @@ def _graph_digest(
     seed: int,
     scale: float,
     method_names: Sequence[str],
+    config: str = "",
 ) -> str:
     """Compatibility fingerprint for a shard split.
 
     Two partials merge only when they agree on experiment, the full
-    canonical graph, the method set, the corpus seed and the dataset
-    scale — everything that determines the task set and its scores.
-    (Shard geometry is deliberately *not* part of the digest: a 2-way and
-    a 3-way split of the same run share it, which is what lets ``diff``
-    compare a merged run against an unsharded baseline.)
+    canonical graph, the method set, the corpus seed, the dataset
+    scale and any experiment-specific ``config`` string — everything that
+    determines the task set and its scores.  (Shard geometry is
+    deliberately *not* part of the digest: a 2-way and a 3-way split of
+    the same run share it, which is what lets ``diff`` compare a merged
+    run against an unsharded baseline.)
     """
     hasher = hashlib.sha256()
     hasher.update(f"schema={PARTIAL_SCHEMA}|{experiment}".encode())
     hasher.update(f"|seed={seed}|scale={scale!r}".encode())
     hasher.update(("|methods=" + ",".join(method_names)).encode())
+    if config:
+        # Only hashed when present, keeping every config-free experiment's
+        # digests byte-compatible with partials from earlier versions.
+        hasher.update(f"|config={config}".encode())
     for task in graph:
         # ":".join keeps 2-tuple digests byte-compatible with the
         # pre-generalization format.
@@ -903,7 +973,8 @@ def run_shard(
         "scale": scale(),
         "graph": graph,
         "graph_digest": _graph_digest(
-            experiment, graph, seed, scale(), method_names
+            experiment, graph, seed, scale(), method_names,
+            registered.config(),
         ),
         "owned": owned,
         "methods": method_names,
@@ -1099,14 +1170,16 @@ def retry_partial(
     # Validate the digest *before* rerunning anything: the residual may
     # be hours of synthesis, and an incompatible configuration (changed
     # method set / task graph) is knowable up front.
+    registered = get_experiment(first["experiment"])
     if methods is None:
-        methods = get_experiment(first["experiment"]).methods()
+        methods = registered.methods()
     expected = _graph_digest(
         first["experiment"],
         graph,
         first["seed"],
         scale(),
         [method.name for method in methods],
+        registered.config(),
     )
     if expected != first["graph_digest"]:
         raise ValueError(

@@ -1,0 +1,118 @@
+"""Transform invariants: every drift/scan transform must preserve the
+ground-truth annotations (the extraction targets survive) while changing
+the document fingerprint (the document visibly drifted/degraded)."""
+
+import random
+
+import pytest
+
+from repro.datasets import forge
+from repro.datasets import forge_transforms as ft
+from repro.datasets.base import CONTEMPORARY, LabeledHtmlDocument
+from repro.datasets.finance import LabeledImageDocument
+from repro.html.parser import parse_html
+
+# A provider whose field set includes the multi-value items fields, so
+# per-field annotation *order* is actually at stake under DOM shuffles.
+ITEMS_PROVIDER = "forge004"
+
+
+def _layout():
+    spec = forge.provider_spec(ITEMS_PROVIDER, seed=0)
+    assert forge.ITEM in spec.fields
+    rng = random.Random(11)
+    record = forge.random_order(rng, spec)
+    return spec, record, forge.build_layout(spec, record, rng)
+
+
+def _labeled(spec, record, layout):
+    doc = parse_html(ft.render_html(layout))
+    return LabeledHtmlDocument(
+        doc=doc,
+        truth=forge.field_values(record, spec.fields),
+        provider=spec.provider,
+        setting=CONTEMPORARY,
+    )
+
+
+class TestHtmlDriftTransforms:
+    @pytest.mark.parametrize("name", sorted(ft.HTML_DRIFT_TRANSFORMS))
+    def test_preserves_annotations_and_changes_fingerprint(self, name):
+        spec, record, layout = _layout()
+        base = _labeled(spec, record, layout)
+        transform = ft.HTML_DRIFT_TRANSFORMS[name]
+        drifted = _labeled(spec, record, transform(layout, random.Random(23)))
+        for field in spec.fields:
+            assert drifted.annotation(field).aggregate() == base.gold(field)
+        assert drifted.doc.fingerprint() != base.doc.fingerprint()
+
+    @pytest.mark.parametrize("name", sorted(ft.HTML_DRIFT_TRANSFORMS))
+    def test_is_pure(self, name):
+        # Transforms return drifted copies; the input layout is reusable.
+        spec, record, layout = _layout()
+        before = ft.render_html(layout)
+        ft.HTML_DRIFT_TRANSFORMS[name](layout, random.Random(5))
+        assert ft.render_html(layout) == before
+
+    def test_drift_pipeline_is_cumulative(self):
+        spec, record, layout = _layout()
+        base = _labeled(spec, record, layout)
+        fingerprints = {base.doc.fingerprint()}
+        for snapshot in (1, 2, 3):
+            drifted = _labeled(
+                spec, record, ft.apply_drift(layout, snapshot, random.Random(7))
+            )
+            for field in spec.fields:
+                assert drifted.annotation(field).aggregate() == base.gold(
+                    field
+                )
+            fingerprints.add(drifted.doc.fingerprint())
+        assert len(fingerprints) == 4
+
+
+def _scanned():
+    return forge.generate_image_document(
+        ITEMS_PROVIDER, random.Random(3), ft.TRAIN_SCAN, seed=0
+    )
+
+
+class TestScanTransforms:
+    @pytest.mark.parametrize("name", sorted(ft.SCAN_TRANSFORMS))
+    def test_preserves_annotations_and_changes_fingerprint(self, name):
+        labeled = _scanned()
+        transform = ft.SCAN_TRANSFORMS[name]
+        degraded = transform(labeled.doc, random.Random(17))
+        # Text and ground-truth tags survive verbatim, box for box.
+        assert [(b.text, dict(b.tags)) for b in degraded.boxes] == [
+            (b.text, dict(b.tags)) for b in labeled.doc.boxes
+        ]
+        assert degraded.fingerprint() != labeled.doc.fingerprint()
+        relabeled = LabeledImageDocument(
+            doc=degraded, truth=labeled.truth, provider=labeled.provider
+        )
+        for field, gold in labeled.truth.items():
+            assert sorted(relabeled.annotation(field).aggregate()) == sorted(
+                gold
+            )
+
+    @pytest.mark.parametrize("name", sorted(ft.SCAN_TRANSFORMS))
+    def test_is_pure(self, name):
+        labeled = _scanned()
+        before = labeled.doc.fingerprint()
+        ft.SCAN_TRANSFORMS[name](labeled.doc, random.Random(9))
+        assert labeled.doc.fingerprint() == before
+
+    def test_profile_pipeline_preserves_annotations(self):
+        labeled = _scanned()
+        for profile in (ft.TRAIN_SCAN, ft.TEST_SCAN):
+            degraded = ft.apply_scan_effects(
+                labeled.doc, random.Random(31), profile
+            )
+            relabeled = LabeledImageDocument(
+                doc=degraded, truth=labeled.truth, provider=labeled.provider
+            )
+            for field, gold in labeled.truth.items():
+                assert sorted(
+                    relabeled.annotation(field).aggregate()
+                ) == sorted(gold)
+            assert degraded.fingerprint() != labeled.doc.fingerprint()

@@ -254,7 +254,8 @@ class TestMergeValidation:
 class TestGeneralizedTaskGraphs:
     def test_registry_lists_every_bench_experiment(self):
         assert set(sharding.EXPERIMENTS) == {
-            "m2h", "finance", "m2h_images", "robustness", "ablations"
+            "m2h", "finance", "m2h_images", "robustness", "ablations",
+            "forge_html", "forge_images",
         }
 
     def test_robustness_graph_shape(self):
