@@ -1,0 +1,125 @@
+"""CI kernel-equivalence gate: the bitset kernel must not change a byte.
+
+For each requested experiment the script runs the full sharded pipeline
+twice — once with the interned-bitset distance kernel on
+(``REPRO_BITSET=1``, the default) and once forced onto the legacy
+frozenset path (``REPRO_BITSET=0``) — and asserts that
+
+* the canonical score dump (full-``repr`` float precision) is
+  byte-identical between the two arms, and
+* the rendered paper-style tables are byte-identical too.
+
+Each arm executes in its own subprocess under a **distinct
+``PYTHONHASHSEED``**, so an encoding that leans on set/dict iteration
+order (instead of the interner's sorted-order bit assignment) diverges
+here rather than flaking across CI machines.  The store is disabled in
+both arms: nothing precomputed may paper over a kernel difference.
+
+The bitset arm's wall-clock is also recorded and required to be no
+slower than the legacy arm's (with head-room for runner noise) —
+``benchmarks/bench_cluster_kernel.py`` measures the per-stage margins;
+this gate only refuses a kernel that stops paying for itself.
+
+Usage::
+
+    python benchmarks/bitset_equivalence_check.py [--scale 0.15]
+        [--experiment m2h forge_html] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))  # for benchmarks.common
+
+from benchmarks.common import run_shard_subprocess  # noqa: E402
+
+# A kernel that merely breaks even is acceptable on a noisy shared
+# runner; one that slows the pipeline down by more than this factor is
+# a regression even accounting for clock jitter.  The smallest arms run
+# in about a second, where scheduler noise alone reaches ~30%, so the
+# bound is generous — a genuinely pathological kernel blows well past it.
+SLOWDOWN_TOLERANCE = 1.5
+
+
+def check_experiment(
+    experiment: str, seed: int, scale: str, hash_seed: int
+) -> tuple[int, int]:
+    """Run one experiment's two kernel arms; returns (failures, hash_seed)."""
+    from repro.harness import sharding
+
+    arms = {}
+    with tempfile.TemporaryDirectory(prefix="bitset-eq-") as tmp:
+        for knob in ("1", "0"):
+            out = pathlib.Path(tmp) / f"bitset-{knob}.pkl"
+            run_shard_subprocess(
+                experiment, "0/1", seed, scale, out,
+                hash_seed=hash_seed,
+                extra_env={"REPRO_STORE": "0", "REPRO_BITSET": knob},
+            )
+            hash_seed += 1
+            partial = sharding.load_partial(out)
+            arms[knob] = {
+                "scores": sharding.canonical_scores(
+                    sharding.flat_results(partial)
+                ),
+                "tables": sharding.render_tables(partial),
+                "wall": partial["wall_seconds"],
+            }
+    scores_ok = arms["1"]["scores"] == arms["0"]["scores"]
+    tables_ok = arms["1"]["tables"] == arms["0"]["tables"]
+    fast_enough = (
+        arms["1"]["wall"] <= arms["0"]["wall"] * SLOWDOWN_TOLERANCE
+    )
+    failures = (not scores_ok) + (not tables_ok) + (not fast_enough)
+    print(
+        f"  {experiment}: bitset {arms['1']['wall']:.2f}s vs legacy"
+        f" {arms['0']['wall']:.2f}s —"
+        f" scores {'ok' if scores_ok else 'DIFF'},"
+        f" tables {'ok' if tables_ok else 'DIFF'},"
+        f" speed {'ok' if fast_enough else 'REGRESSED'}"
+    )
+    return failures, hash_seed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="0.15")
+    parser.add_argument(
+        "--experiment",
+        nargs="+",
+        default=["m2h", "forge_html"],
+        help="registry experiments to check (e.g. m2h forge_html)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    failures = 0
+    hash_seed = 101
+    for experiment in args.experiment:
+        print(
+            f"bitset-equivalence: {experiment} at scale {args.scale},"
+            f" REPRO_BITSET=1 vs =0, one process + hash seed per arm"
+        )
+        experiment_failures, hash_seed = check_experiment(
+            experiment, args.seed, args.scale, hash_seed
+        )
+        failures += experiment_failures
+
+    if failures:
+        print(f"FAIL: {failures} check(s) diverged between kernel arms")
+        return 1
+    print(
+        "PASS: bitset and legacy kernels produce byte-identical scores"
+        " and tables (across distinct hash seeds)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,12 @@ landmark-candidate lists survive across ``lrsyn`` calls, benchmark runs
 and CI jobs.  Domains opt in by implementing
 :meth:`repro.core.document.Domain.document_fingerprint`; every L2 key is
 derived from document *content* (never identity or configuration), so a
-regenerated corpus hits the same entries.
+regenerated corpus hits the same entries.  Blueprints cross this layer
+only in their canonical ``frozenset`` form — the bitset encoding of
+:mod:`repro.core.bitset` is kernel-internal — so distance keys
+(``canonical_digest`` over sorted elements) and warm stores are
+identical whether the vectorized kernel or the legacy per-pair path
+computed the value.
 
 Environment knobs:
 
@@ -447,6 +452,29 @@ class DistanceCache:
                 self.domain.substrate,
                 value,
             )
+
+    def prime_distances(
+        self,
+        pairs: Sequence[tuple[Hashable, Hashable]],
+        values: Sequence[float],
+        persist: bool = True,
+    ) -> None:
+        """Seed many out-of-band distances at once (see `prime_distance`).
+
+        With no persistent store in play the whole batch lands in L1 via
+        one C-level ``dict.update`` — the vectorized prefill kernel hands
+        over tens of thousands of values, and a per-pair python loop here
+        would cost more than computing them did.  Overwriting an existing
+        entry is harmless by the priming contract (every seeded value
+        equals what ``blueprint_distance`` would return).
+        """
+        if not self.enabled:
+            return
+        if persist and self._store_active:
+            for (bp_a, bp_b), value in zip(pairs, values):
+                self.prime_distance(bp_a, bp_b, value, persist=True)
+            return
+        self._distances.update(zip(pairs, values))
 
     # -- landmarks ------------------------------------------------------
     def landmark_candidates(

@@ -19,10 +19,11 @@ The procedure works in three phases, mirroring Section 4.2:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
-from repro.core import parallel
+from repro.core import bitset, parallel
 from repro.core.caching import DistanceCache, active_timer
 from repro.core.document import (
     Annotation,
@@ -70,6 +71,20 @@ def _matrix_tile(tile) -> list[tuple[int, int, float]]:
     return out
 
 
+def _bitset_tile(tile) -> list[tuple[tuple[int, int], float]]:
+    """Worker: one matrix tile through the vectorized bitset kernel.
+
+    The fork payload carries the interned int masks and the packed uint64
+    array instead of frozenset lists, so children inherit a few numpy
+    pages through copy-on-write rather than re-hashing blueprint sets.
+    Returns ``((i, j), d)`` items so the parent merges each tile with one
+    ``dict.update`` instead of a per-pair loop.
+    """
+    masks, packed, symmetric = parallel.shared_payload()
+    rows, cols = tile
+    return bitset.tile_distance_items(masks, packed, rows, cols, symmetric)
+
+
 def pairwise_distance_matrix(
     domain: Domain,
     blueprints: Sequence[Hashable],
@@ -84,13 +99,34 @@ def pairwise_distance_matrix(
     triangle is computed, for asymmetric metrics (image BoxSummary
     matching) both orientations.  Results merge in tile submission order,
     so the returned mapping is identical to a serial double loop —
-    parallelism never changes a value.  Small inputs (fewer than
-    :data:`MIN_PARALLEL_PAIRS` pairs) skip the pool outright.
+    parallelism never changes a value.
+
+    When every blueprint is a plain string set under Jaccard (see
+    :func:`repro.core.bitset.universe_for`), the blueprints are interned
+    once and each tile is evaluated by the vectorized bitset kernel —
+    serially or fanned out — producing bit-identical values.  Otherwise
+    small inputs (fewer than :data:`MIN_PARALLEL_PAIRS` pairs) return via
+    a serial double loop before any tile bookkeeping is built.
     """
     n = len(blueprints)
     if n <= 1:
         return {}
     symmetric = getattr(domain, "symmetric_distance", True)
+    total_pairs = n * (n - 1) // (2 if symmetric else 1)
+    n_jobs = parallel.kernel_jobs() if n_jobs is None else n_jobs
+    if total_pairs < MIN_PARALLEL_PAIRS:
+        n_jobs = 1
+    encoded = bitset.universe_for(domain, blueprints)
+    if encoded is None and n_jobs <= 1:
+        matrix: dict[tuple[int, int], float] = {}
+        for i in range(n):
+            for j in range(n):
+                if i == j or (symmetric and j < i):
+                    continue
+                matrix[(i, j)] = domain.blueprint_distance(
+                    blueprints[i], blueprints[j]
+                )
+        return matrix
     ranges = parallel.tile_ranges(n, tile)
     tiles = [
         (rows, cols)
@@ -98,13 +134,16 @@ def pairwise_distance_matrix(
         for cols in ranges
         if not (symmetric and cols[1] <= rows[0])
     ]
-    total_pairs = n * (n - 1) // (2 if symmetric else 1)
-    n_jobs = parallel.kernel_jobs() if n_jobs is None else n_jobs
-    if total_pairs < MIN_PARALLEL_PAIRS:
-        n_jobs = 1
+    matrix = {}
+    if encoded is not None:
+        universe, masks = encoded
+        payload = (masks, universe.pack(masks), symmetric)
+        results = parallel.run_sharded(payload, _bitset_tile, tiles, n_jobs)
+        for tile_result in results:
+            matrix.update(tile_result)
+        return matrix
     payload = (domain, list(blueprints), symmetric)
     results = parallel.run_sharded(payload, _matrix_tile, tiles, n_jobs)
-    matrix: dict[tuple[int, int], float] = {}
     for tile_result in results:
         for i, j, value in tile_result:
             matrix[(i, j)] = value
@@ -134,13 +173,35 @@ def prefill_pairwise_distances(
     index space we tile the deduplicated pair list itself.  Each seeded
     value equals ``domain.blueprint_distance`` exactly, so the serial loop
     that follows is byte-identical to an unprefetched run — just faster.
+
+    When the blueprints are bitset-encodable the whole pair list is
+    interned once (each distinct blueprint encoded a single time) and
+    evaluated by the vectorized kernel — worthwhile even serially, so no
+    worker pool or minimum pair count is required.  Otherwise the legacy
+    per-pair path runs, and only when workers are available and the list
+    is big enough to pay for the pool.
     """
-    n_jobs = parallel.kernel_jobs()
-    if n_jobs <= 1 or not cache.enabled:
-        return
-    if len(pairs) < MIN_PARALLEL_PAIRS:
+    if not cache.enabled or not pairs:
         return
     pairs = list(pairs)
+    unique = list(dict.fromkeys(itertools.chain.from_iterable(pairs)))
+    encoded = bitset.universe_for(domain, unique)
+    if encoded is not None:
+        universe, masks = encoded
+        position = {blueprint: k for k, blueprint in enumerate(unique)}
+        # Two direct scans beat zip(*pairs): star-unpacking a large pair
+        # list allocates one argument slot per pair.
+        values = bitset.indexed_pair_distances(
+            universe,
+            masks,
+            [position[bp_a] for bp_a, _ in pairs],
+            [position[bp_b] for _, bp_b in pairs],
+        )
+        cache.prime_distances(pairs, values)
+        return
+    n_jobs = parallel.kernel_jobs()
+    if n_jobs <= 1 or len(pairs) < MIN_PARALLEL_PAIRS:
+        return
     shards = parallel.tile_ranges(len(pairs), tile)
     results = parallel.run_sharded((domain, pairs), _pair_shard, shards, n_jobs)
     for (start, stop), values in zip(shards, results):
@@ -189,24 +250,57 @@ def fine_cluster(
     a document whose blueprint is within ``threshold``.  This produces the
     "large number of very fine-grained clusters" of Section 2.1.
 
-    With ``REPRO_JOBS > 1`` and enough documents, the full blueprint
-    distance matrix is precomputed by the blocked parallel kernel and
-    seeded into the cache first; the agglomeration loop below then only
-    performs lookups, and its placements are unchanged.
+    When the document blueprints are bitset-encodable they are interned
+    once up front and the placement loop compares big-int masks directly
+    (:func:`repro.core.bitset.jaccard_bits`) — the same lazy demand, the
+    same short-circuit order, bit-identical distances, so placements are
+    unchanged; no speculative full matrix is needed.  Otherwise, with
+    ``REPRO_JOBS > 1`` and enough documents, the full distance matrix is
+    precomputed by the blocked parallel kernel and seeded into the cache
+    first; the lookup loop's placements are again unchanged.
     """
     cache = cache or DistanceCache(domain)
     clusters: list[list[TrainingExample]] = []
-    blueprints: list[list[Hashable]] = []
     with active_timer().stage("cluster"):
         n = len(examples)
+        doc_blueprints = [
+            cache.document_blueprint(example.doc) for example in examples
+        ]
+        encoded = bitset.universe_for(domain, doc_blueprints)
+        if encoded is not None:
+            universe, masks = encoded
+            packed = universe.pack(masks)
+            if packed is not None:
+                clusters.extend(
+                    [examples[row] for row in rows]
+                    for rows in bitset.cluster_rows_packed(
+                        packed, threshold
+                    )
+                )
+                return clusters
+            # No vectorized popcount available: lazy big-int placement
+            # scan, short-circuiting exactly like the legacy loop.
+            mask_clusters: list[list[int]] = []
+            for example, mask in zip(examples, masks):
+                placed = False
+                for cluster, cluster_masks in zip(clusters, mask_clusters):
+                    if any(
+                        bitset.jaccard_bits(mask, other) <= threshold
+                        for other in cluster_masks
+                    ):
+                        cluster.append(example)
+                        cluster_masks.append(mask)
+                        placed = True
+                        break
+                if not placed:
+                    clusters.append([example])
+                    mask_clusters.append([mask])
+            return clusters
         if (
             cache.enabled
             and parallel.kernel_jobs() > 1
             and n * (n - 1) // 2 >= MIN_PARALLEL_PAIRS
         ):
-            doc_blueprints = [
-                cache.document_blueprint(example.doc) for example in examples
-            ]
             matrix = pairwise_distance_matrix(domain, doc_blueprints)
             for (i, j), value in matrix.items():
                 # Speculative (full-matrix) values seed L1 only; the
@@ -216,8 +310,8 @@ def fine_cluster(
                     doc_blueprints[i], doc_blueprints[j], value,
                     persist=False,
                 )
-        for example in examples:
-            blueprint = cache.document_blueprint(example.doc)
+        blueprints: list[list[Hashable]] = []
+        for example, blueprint in zip(examples, doc_blueprints):
             placed = False
             for cluster, cluster_bps in zip(clusters, blueprints):
                 if any(
@@ -384,10 +478,15 @@ def infer_landmarks_and_clusters(
     # Merge clusters while some pair is within the merge threshold
     # (lines 10-15).  The first round's pairwise ROI distances — the full
     # demand of the whole loop, since merging never adds examples — are
-    # precomputed by the blocked parallel kernel when workers are
-    # available, so the serial decision loop below only performs lookups.
+    # precomputed when the vectorized bitset kernel applies or workers
+    # are available, so the serial decision loop below only performs
+    # lookups.
     with active_timer().stage("cluster"):
-        if len(clusters) > 1 and parallel.kernel_jobs() > 1:
+        if (
+            len(clusters) > 1
+            and cache.enabled
+            and (parallel.kernel_jobs() > 1 or bitset.bitset_enabled())
+        ):
             prefill_pairwise_distances(
                 domain,
                 _missing_merge_pairs(domain, clusters, roi_of, cache),

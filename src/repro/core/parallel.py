@@ -6,9 +6,13 @@ blocked partitioning: the inputs are immutable, each tile is independent,
 and only small index ranges plus per-tile results cross process
 boundaries.  On Linux the worker pool is created with the ``fork`` start
 method *after* the payload is staged in a module global, so children read
-the blueprints/documents through copy-on-write shared memory — the Python
-analogue of the shared-memory PaLD kernel — and no document is ever
-pickled.
+the payload through copy-on-write shared memory — the Python analogue of
+the shared-memory PaLD kernel — and no document is ever pickled.  For
+set-metric distance tiles the payload is the interned bitset form (the
+big-int masks plus the packed uint64 array of
+:mod:`repro.core.bitset`) rather than frozenset lists, so children
+inherit a few flat pages instead of per-element hash tables; legacy
+kernels still share the blueprints/documents themselves.
 
 Guard rails:
 

@@ -15,9 +15,19 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core import bitset
 from repro.core.caching import cache_enabled
+from repro.core.distance import jaccard_distance
 from repro.html.dom import HtmlDocument
 from repro.html.region import HtmlRegion
+
+__all__ = [
+    "MAX_COMMON_VALUE_LENGTH",
+    "common_text_values",
+    "document_blueprint",
+    "jaccard_distance",
+    "region_blueprint",
+]
 
 # Texts longer than this are treated as variable content, never as the
 # "common values" a blueprint is built from (labels are short).
@@ -58,12 +68,14 @@ def _short_text_values(doc: HtmlDocument) -> frozenset[str]:
 
 
 def common_text_values(docs: Iterable[HtmlDocument]) -> frozenset[str]:
-    """Node texts present in every document (the cluster's common values)."""
-    common: set[str] | None = None
-    for doc in docs:
-        texts = _short_text_values(doc)
-        common = set(texts) if common is None else (common & texts)
-    return frozenset(common or set())
+    """Node texts present in every document (the cluster's common values).
+
+    The per-document text sets fold through the shared invariant
+    intersection (:func:`repro.core.bitset.intersect_all`) — identical
+    result, so ROI-blueprint store keys derived from the returned set are
+    unchanged.
+    """
+    return bitset.intersect_all(_short_text_values(doc) for doc in docs)
 
 
 def region_blueprint(
@@ -83,13 +95,3 @@ def region_blueprint(
         if text and text in common_values:
             entries.add(f"{path}:{text}")
     return frozenset(entries)
-
-
-def jaccard_distance(a: frozenset, b: frozenset) -> float:
-    """1 - |a ∩ b| / |a ∪ b|; the blueprint distance ``δ`` for HTML."""
-    if not a and not b:
-        return 0.0
-    union = len(a | b)
-    if union == 0:
-        return 0.0
-    return 1.0 - len(a & b) / union

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core import parallel
+from repro.core import bitset, parallel
 from repro.core.caching import cache_enabled
 from repro.core.document import ScoredLandmark, TrainingExample
 from repro.html.dom import (
@@ -113,15 +113,13 @@ def shared_ngrams(docs: Sequence[HtmlDocument]) -> set[str]:
     rather than from arbitrary shared substrings, which would admit variable
     content (the "PM" inside times) or phrases spanning several cells (whose
     located node would be a whole row).  Stop-word-only grams are filtered.
+
+    The per-document leaf-text sets fold through the shared invariant
+    intersection (:func:`repro.core.bitset.intersect_all`).
     """
-    invariant: set[str] | None = None
-    for doc in docs:
-        texts = _leaf_texts(doc)
-        invariant = texts if invariant is None else (invariant & texts)
-        if not invariant:
-            return set()
+    invariant = bitset.intersect_all(_leaf_texts(doc) for doc in docs)
     grams: set[str] = set()
-    for text in invariant or set():
+    for text in invariant:
         grams |= ngrams_of_text(text)
     return {gram for gram in grams if not _is_stopword_gram(gram)}
 

@@ -14,7 +14,19 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Sequence
 
+from repro.core.distance import jaccard_distance
 from repro.images.boxes import DIRECTIONS, ImageDocument, ImageRegion
+
+__all__ = [
+    "box_ngrams",
+    "box_summary",
+    "document_blueprint",
+    "frequent_gram_of",
+    "frequent_ngrams",
+    "jaccard_distance",
+    "region_blueprint",
+    "summary_distance",
+]
 
 BOTTOM_TYPE = "⊥"
 TOP_TYPE = "⊤"
@@ -108,15 +120,6 @@ def document_blueprint(doc: ImageDocument) -> frozenset[str]:
         if text and len(text) <= 40 and not any(ch.isdigit() for ch in text):
             labels.add(text)
     return frozenset(labels)
-
-
-def jaccard_distance(a: frozenset, b: frozenset) -> float:
-    if not a and not b:
-        return 0.0
-    union = len(a | b)
-    if union == 0:
-        return 0.0
-    return 1.0 - len(a & b) / union
 
 
 def _summary_similarity(a: tuple, b: tuple) -> float:

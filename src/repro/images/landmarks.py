@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.core import parallel
+from repro.core import bitset, parallel
 from repro.core.document import ScoredLandmark, TrainingExample
 from repro.images.blueprint import box_ngrams
 from repro.images.boxes import ImageDocument, TextBox
@@ -38,18 +38,23 @@ def _is_stopword_gram(gram: str) -> bool:
     return all(word in STOP_WORDS or not word.isalpha() for word in words)
 
 
+def _doc_grams(doc: ImageDocument) -> set[str]:
+    """All box-text n-grams of one document."""
+    texts = {box.text for box in doc.boxes if box.text}
+    grams: set[str] = set()
+    for text in texts:
+        grams |= box_ngrams(text)
+    return grams
+
+
 def invariant_grams(docs: Sequence[ImageDocument]) -> set[str]:
-    """N-grams of box texts that appear verbatim in every document."""
-    common: set[str] | None = None
-    for doc in docs:
-        texts = {box.text for box in doc.boxes if box.text}
-        grams: set[str] = set()
-        for text in texts:
-            grams |= box_ngrams(text)
-        common = grams if common is None else (common & grams)
-        if not common:
-            return set()
-    return {gram for gram in (common or set()) if not _is_stopword_gram(gram)}
+    """N-grams of box texts that appear verbatim in every document.
+
+    The per-document gram sets fold through the shared invariant
+    intersection (:func:`repro.core.bitset.intersect_all`).
+    """
+    common = bitset.intersect_all(_doc_grams(doc) for doc in docs)
+    return {gram for gram in common if not _is_stopword_gram(gram)}
 
 
 # Vertical distance is weighted heavier than horizontal: a label on the

@@ -1,0 +1,334 @@
+"""Property tests for the interned-bitset blueprint kernel.
+
+The contracts under test, in the order the pipeline relies on them:
+
+* bitset Jaccard is *bit-identical* (not approximately equal) to the
+  frozenset ``jaccard_distance`` on randomized universes — both paths
+  divide the same two integers;
+* the interner assigns bit positions from sorted element order, so the
+  encoding is a pure function of universe content: identical across
+  subprocesses running under hostile ``PYTHONHASHSEED`` values;
+* encode/decode round-trips;
+* the kernel engages only where it is sound (``Domain.bitset_elements``)
+  and the ``REPRO_BITSET=0`` knob restores the legacy path everywhere
+  with unchanged results.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+
+from repro.core import bitset
+from repro.core.caching import DistanceCache
+from repro.core.clustering import (
+    fine_cluster,
+    pairwise_distance_matrix,
+    prefill_pairwise_distances,
+)
+from repro.core.distance import jaccard_distance
+from repro.html.domain import HtmlDomain
+from repro.images.domain import ImageDomain
+from tests.core.fake_domain import FakeDomain, make_example
+
+
+def random_universe(rng: random.Random, n_sets: int, vocab: int):
+    """Randomized string sets drawn from a shared vocabulary."""
+    words = [f"w{idx}-{rng.randrange(1000)}" for idx in range(vocab)]
+    return [
+        frozenset(rng.sample(words, rng.randrange(0, vocab)))
+        for _ in range(n_sets)
+    ]
+
+
+class TestInterner:
+    def test_sorted_bit_assignment(self):
+        universe = bitset.BitsetUniverse(["zebra", "apple", "mango"])
+        assert universe.elements == ("apple", "mango", "zebra")
+        assert universe.index == {"apple": 0, "mango": 1, "zebra": 2}
+
+    def test_insertion_order_is_irrelevant(self):
+        elements = [f"e{i}" for i in range(100)]
+        shuffled = list(elements)
+        random.Random(7).shuffle(shuffled)
+        a = bitset.BitsetUniverse(elements)
+        b = bitset.BitsetUniverse(shuffled)
+        assert a.elements == b.elements
+        assert a.index == b.index
+
+    def test_round_trip_randomized(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            sets = random_universe(rng, n_sets=8, vocab=40)
+            universe = bitset.BitsetUniverse(
+                element for s in sets for element in s
+            )
+            for s in sets:
+                assert universe.decode(universe.encode(s)) == s
+
+    def test_encode_within_drops_unknowns(self):
+        universe = bitset.BitsetUniverse(["a", "b"])
+        assert universe.encode_within(["a", "nope", "b"]) == universe.encode(
+            ["a", "b"]
+        )
+
+    def test_empty_universe(self):
+        universe = bitset.BitsetUniverse([])
+        assert len(universe) == 0
+        assert universe.encode([]) == 0
+        assert universe.decode(0) == frozenset()
+        assert universe.pack([0, 0]) is None
+
+    def test_words_sized_for_packing(self):
+        assert bitset.BitsetUniverse([f"e{i}" for i in range(64)]).words == 1
+        assert bitset.BitsetUniverse([f"e{i}" for i in range(65)]).words == 2
+
+
+class TestDistanceEquality:
+    def test_jaccard_bits_matches_frozenset_exactly(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            sets = random_universe(rng, n_sets=12, vocab=80)
+            universe = bitset.BitsetUniverse(
+                element for s in sets for element in s
+            )
+            masks = universe.encode_all(sets)
+            for i, set_a in enumerate(sets):
+                for j, set_b in enumerate(sets):
+                    expected = jaccard_distance(set_a, set_b)
+                    assert bitset.jaccard_bits(masks[i], masks[j]) == expected
+
+    def test_tile_kernel_matches_per_pair_both_paths(self):
+        rng = random.Random(2)
+        sets = random_universe(rng, n_sets=20, vocab=150)
+        universe = bitset.BitsetUniverse(
+            element for s in sets for element in s
+        )
+        masks = universe.encode_all(sets)
+        n = len(sets)
+        for symmetric in (True, False):
+            for packed in (universe.pack(masks), None):
+                result = {
+                    (i, j): value
+                    for i, j, value in bitset.tile_distances(
+                        masks, packed, (0, n), (0, n), symmetric
+                    )
+                }
+                expected = {
+                    (i, j): jaccard_distance(sets[i], sets[j])
+                    for i in range(n)
+                    for j in range(n)
+                    if i != j and not (symmetric and j < i)
+                }
+                assert result == expected
+
+    def test_tile_kernel_partial_tiles(self):
+        rng = random.Random(3)
+        sets = random_universe(rng, n_sets=11, vocab=70)
+        universe = bitset.BitsetUniverse(
+            element for s in sets for element in s
+        )
+        masks = universe.encode_all(sets)
+        packed = universe.pack(masks)
+        merged: dict[tuple[int, int], float] = {}
+        for rows in ((0, 4), (4, 8), (8, 11)):
+            for cols in ((0, 4), (4, 8), (8, 11)):
+                for i, j, value in bitset.tile_distances(
+                    masks, packed, rows, cols, True
+                ):
+                    merged[(i, j)] = value
+        full = {
+            (i, j): value
+            for i, j, value in bitset.tile_distances(
+                masks, packed, (0, 11), (0, 11), True
+            )
+        }
+        assert merged == full
+
+    def test_pair_distances_matches_scalar(self):
+        rng = random.Random(4)
+        sets = random_universe(rng, n_sets=16, vocab=90)
+        universe = bitset.BitsetUniverse(
+            element for s in sets for element in s
+        )
+        masks = universe.encode_all(sets)
+        pairs = [
+            (rng.randrange(16), rng.randrange(16)) for _ in range(64)
+        ]
+        values = bitset.indexed_pair_distances(
+            universe,
+            masks,
+            [i for i, _ in pairs],
+            [j for _, j in pairs],
+        )
+        assert values == [
+            jaccard_distance(sets[i], sets[j]) for i, j in pairs
+        ]
+
+    def test_empty_sets_distance_zero(self):
+        universe = bitset.BitsetUniverse(["x"])
+        assert bitset.jaccard_bits(0, 0) == 0.0
+        assert bitset.jaccard_bits(0, universe.encode(["x"])) == 1.0
+
+    def test_intersect_all_matches_iterated_intersection(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            sets = random_universe(rng, n_sets=6, vocab=30)
+            expected = sets[0]
+            for s in sets[1:]:
+                expected = expected & s
+            assert bitset.intersect_all(sets) == expected
+        assert bitset.intersect_all([]) == frozenset()
+        assert bitset.intersect_all([frozenset({"a"})]) == frozenset({"a"})
+
+
+_DETERMINISM_SNIPPET = """
+import random
+from repro.core import bitset
+rng = random.Random(42)
+words = [f"tok{i}" for i in range(200)]
+sets = [frozenset(rng.sample(words, rng.randrange(0, 120))) for _ in range(30)]
+universe = bitset.BitsetUniverse(e for s in sets for e in s)
+masks = universe.encode_all(sets)
+print(",".join(universe.elements))
+print(",".join(str(m) for m in masks))
+print(",".join(repr(bitset.jaccard_bits(masks[0], m)) for m in masks))
+"""
+
+
+class TestHashSeedDeterminism:
+    def test_identical_across_subprocess_hash_seeds(self):
+        outputs = set()
+        for hash_seed in ("0", "1", "31337"):
+            env = {
+                **os.environ,
+                "PYTHONHASHSEED": hash_seed,
+                "PYTHONPATH": os.pathsep.join(
+                    p for p in ("src", os.environ.get("PYTHONPATH")) if p
+                ),
+            }
+            result = subprocess.run(
+                [sys.executable, "-c", _DETERMINISM_SNIPPET],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            outputs.add(result.stdout)
+        assert len(outputs) == 1
+
+
+class TestUniverseFor:
+    def test_html_blueprints_encode(self):
+        domain = HtmlDomain()
+        blueprints = [frozenset({"body/div", "body/span"}), frozenset()]
+        encoded = bitset.universe_for(domain, blueprints)
+        assert encoded is not None
+        universe, masks = encoded
+        assert universe.decode(masks[0]) == blueprints[0]
+        assert masks[1] == 0
+
+    def test_image_document_blueprints_encode(self):
+        domain = ImageDomain()
+        encoded = bitset.universe_for(
+            domain, [frozenset({"Total", "Date"}), frozenset({"Total"})]
+        )
+        assert encoded is not None
+
+    def test_image_summary_blueprints_stay_legacy(self):
+        domain = ImageDomain()
+        summaries = frozenset({("Total", "⊥", "⊤", "⊥", "⊥")})
+        assert (
+            bitset.universe_for(domain, [summaries, frozenset()]) is None
+        )
+
+    def test_custom_domains_stay_legacy_by_default(self):
+        assert (
+            bitset.universe_for(
+                FakeDomain(), [frozenset({"a:"}), frozenset({"b:"})]
+            )
+            is None
+        )
+
+    def test_knob_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BITSET", "0")
+        assert not bitset.bitset_enabled()
+        assert (
+            bitset.universe_for(HtmlDomain(), [frozenset({"a"})]) is None
+        )
+        monkeypatch.setenv("REPRO_BITSET", "1")
+        assert bitset.bitset_enabled()
+
+
+class TestPipelineParity:
+    """The refactored call sites agree with the knob-off legacy paths."""
+
+    def blueprints(self, count=24):
+        rng = random.Random(6)
+        vocab = [f"body/div/p{i}" for i in range(60)]
+        return [
+            frozenset(rng.sample(vocab, rng.randrange(1, 60)))
+            for _ in range(count)
+        ]
+
+    def test_matrix_bitset_equals_legacy(self, monkeypatch):
+        domain = HtmlDomain()
+        bps = self.blueprints()
+        monkeypatch.setenv("REPRO_BITSET", "1")
+        vectorized = pairwise_distance_matrix(domain, bps)
+        monkeypatch.setenv("REPRO_BITSET", "0")
+        legacy = pairwise_distance_matrix(domain, bps)
+        assert vectorized == legacy
+
+    def test_prefill_seeds_serially_under_bitset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        monkeypatch.setenv("REPRO_BITSET", "1")
+        domain = HtmlDomain()
+        cache = DistanceCache(domain, enabled=True)
+        bps = self.blueprints(8)
+        pairs = [(bps[i], bps[j]) for i in range(8) for j in range(i + 1, 8)]
+        prefill_pairwise_distances(domain, pairs, cache)
+        for bp_a, bp_b in pairs:
+            assert cache.distance_cached(bp_a, bp_b)
+            assert cache.distance(bp_a, bp_b) == domain.blueprint_distance(
+                bp_a, bp_b
+            )
+
+    def test_fine_cluster_placements_match_legacy(self, monkeypatch):
+        rng = random.Random(8)
+        vocab = [f"body/table/tr/td{i}" for i in range(20)]
+        examples = []
+        for _ in range(18):
+            cells = rng.sample(vocab, rng.randrange(5, 20))
+            example = make_example(["x:"], [0])
+            example.doc = _BlueprintDoc(frozenset(cells))
+            examples.append(example)
+        monkeypatch.setenv("REPRO_BITSET", "1")
+        vectorized = fine_cluster(
+            _BlueprintOnlyDomain(), examples, threshold=0.5
+        )
+        monkeypatch.setenv("REPRO_BITSET", "0")
+        legacy = fine_cluster(_BlueprintOnlyDomain(), examples, threshold=0.5)
+        shape = lambda clusters: [  # noqa: E731
+            [id(example) for example in cluster] for cluster in clusters
+        ]
+        assert shape(vectorized) == shape(legacy)
+
+
+class _BlueprintDoc:
+    def __init__(self, blueprint):
+        self.blueprint = blueprint
+
+
+class _BlueprintOnlyDomain(HtmlDomain):
+    """HtmlDomain metric over pre-made blueprints (no DOM needed)."""
+
+    substrate = None
+
+    def document_blueprint(self, doc):
+        return doc.blueprint
+
+    def document_fingerprint(self, doc):
+        return None
