@@ -1,0 +1,217 @@
+"""CI gate for the serving layer (`serve-smoke` job).
+
+Four checks against one real ``repro-serve`` subprocess:
+
+1. **Prewarm** — export a small forge catalog through the real training
+   path (`repro-serve export` semantics via `export_experiment`) and
+   verify the server comes up with every ready program loaded.
+2. **Equivalence** — for every (document, field) in the workload, the
+   served extraction must equal running the stored program offline
+   (``entry.extractor.extract(doc)``), and blueprint routing must pick
+   the document's own provider at distance 0.
+3. **Load** — run the `bench_serving` load generator at low scale
+   (3 concurrency levels) and write ``BENCH_serving.json``.
+4. **Drain** — SIGTERM must exit 0 with nothing in flight lost.
+
+Prints PASS/FAIL per check; exits non-zero on any failure.
+
+Usage::
+
+    python benchmarks/serving_check.py [--providers 2] [--train 3]
+        [--test 3] [--requests 60] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO))
+
+from benchmarks.bench_serving import (  # noqa: E402
+    RESULT_FILE,
+    RESULTS_DIR,
+    _fetch_json,
+    _http,
+    export_catalog,
+    run_load,
+    start_server,
+    stop_server,
+)
+
+
+def check_equivalence(
+    host: str, port: int, store_dir: pathlib.Path,
+    providers: int, train: int, test: int, seed: int,
+) -> tuple[int, int]:
+    """Served values vs offline programs; returns (checked, mismatches)."""
+    from repro.datasets import forge
+    from repro.datasets.base import CONTEMPORARY
+    from repro.harness.forge import forge_corpora
+    from repro.serve.router import Router, load_catalog
+    from repro.store import BlueprintStore
+
+    store = BlueprintStore(directory=store_dir, enabled=True)
+    router = Router(load_catalog(store))
+    checked = mismatches = 0
+
+    async def run() -> None:
+        nonlocal checked, mismatches
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for index in range(providers):
+                provider = f"forge{index:03d}"
+                corpus = forge_corpora(provider, train, test, seed)[
+                    CONTEMPORARY
+                ]
+                for field in forge.fields_for(provider):
+                    entry, diagnostic = router.lookup(
+                        provider, field, "LRSyn"
+                    )
+                    if entry is None:
+                        print(
+                            f"  note: {provider}/{field} not servable"
+                            f" ({diagnostic['reason']}), skipped"
+                        )
+                        continue
+                    for labeled in corpus.train + corpus.test:
+                        body = json.dumps(
+                            {"html": labeled.doc.source, "field": field}
+                        ).encode()
+                        status, raw = await _http(
+                            reader, writer, "POST", "/extract", body
+                        )
+                        served = json.loads(raw)
+                        offline = entry.extractor.extract(labeled.doc)
+                        checked += 1
+                        if (
+                            status != 200
+                            or served["provider"] != provider
+                            or served["values"] != offline
+                        ):
+                            mismatches += 1
+                            print(
+                                f"  MISMATCH {provider}/{field}:"
+                                f" status={status} served={served}"
+                                f" offline={offline}"
+                            )
+        finally:
+            writer.close()
+
+    asyncio.run(run())
+    store.close()
+    return checked, mismatches
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--providers", type=int, default=2)
+    parser.add_argument("--train", type=int, default=3)
+    parser.add_argument("--test", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=60)
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        print(f"{'PASS' if ok else 'FAIL'}: {name} — {detail}")
+        if not ok:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory(prefix="serving-check-") as tmp:
+        tmp_path = pathlib.Path(tmp)
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+
+        report = export_catalog(
+            store_dir, args.providers, args.train, args.test, args.seed
+        )
+        counts = report["counts"]
+        gate(
+            "prewarm export",
+            counts.get("ready", 0) > 0,
+            f"exported counts {counts}",
+        )
+
+        proc, host, port = start_server(store_dir, tmp_path / "addr")
+        try:
+            health = asyncio.run(_fetch_json(host, port, "/healthz"))
+            gate(
+                "server startup",
+                health.get("status") == "ok"
+                and health.get("programs") == counts.get("ready", 0),
+                f"healthz {health}",
+            )
+
+            checked, mismatches = check_equivalence(
+                host, port, store_dir,
+                args.providers, args.train, args.test, args.seed,
+            )
+            gate(
+                "serving == offline",
+                checked > 0 and mismatches == 0,
+                f"{checked} extractions compared, {mismatches} mismatches",
+            )
+
+            from benchmarks.bench_serving import forge_payloads
+
+            payloads = forge_payloads(
+                args.providers, args.train, args.test, args.seed
+            )
+            load = run_load(
+                host, port, payloads, (2, 4, 8), args.requests
+            )
+            RESULTS_DIR.mkdir(exist_ok=True)
+            RESULT_FILE.write_text(
+                json.dumps(
+                    {
+                        "workload": {
+                            "providers": args.providers,
+                            "train_docs": args.train,
+                            "test_docs": args.test,
+                            "seed": args.seed,
+                            "exported": counts,
+                        },
+                        "levels": load["levels"],
+                        "server_metrics": load["server_metrics"],
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            exit_code = stop_server(proc)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        gate("graceful drain", exit_code == 0, f"exit code {exit_code}")
+
+        ok = RESULT_FILE.exists() and RESULT_FILE.stat().st_size > 0
+        levels = load["levels"] if ok else []
+        all_served = all(
+            level["statuses"].get("200", 0) > 0 for level in levels
+        )
+        gate(
+            "benchmark results",
+            ok and len(levels) >= 3 and all_served,
+            f"{RESULT_FILE.name}: {len(levels)} levels,"
+            f" served={all_served}",
+        )
+
+    if failures:
+        print(f"serving check FAILED: {', '.join(failures)}")
+        return 1
+    print("serving check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

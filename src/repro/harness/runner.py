@@ -206,6 +206,56 @@ class FieldResult:
 # so warm runs skip the whole failing search.
 _FAILURE = "__synthesis_failure__"
 
+# Program keys (or transport labels) already warned about this process:
+# an unpicklable program misses the store on *every* warm run, so without
+# the once-guard the same program would spam a warning per training call.
+_pickle_warned: set[str] = set()
+
+
+def picklable_or_none(
+    extractor: Extractor,
+    context: str,
+    store=None,
+    substrate: str | None = None,
+) -> Extractor | None:
+    """``extractor`` if it survives a pickle round-trip, else ``None``.
+
+    The one transportability probe shared by the program-store path
+    (:func:`train_method`) and the process-pool path
+    (:func:`_transportable`), so the two cannot drift.  A failure is
+    never silent: the first one per ``context`` (the program store key,
+    or a ``method|provider|field`` label on the transport path) warns on
+    stderr — the same warn-once degrade the store backends use — and,
+    when the probe guards a store write (``store`` given), the drop is
+    recorded as a ``dropped_program`` row so ``repro-store stats`` can
+    report how many programs are silently retraining on every warm run.
+    """
+    try:
+        pickle.dumps(extractor)
+    except Exception as exc:
+        if context not in _pickle_warned:
+            _pickle_warned.add(context)
+            import warnings
+
+            warnings.warn(
+                f"unpicklable extractor {type(extractor).__name__}"
+                f" ({context}): {type(exc).__name__}: {exc} — the program"
+                " cannot be persisted or shipped across processes, so"
+                " warm runs will retrain it",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        active_timer().count("store.program.dropped")
+        if store is not None and substrate is not None:
+            store.put(
+                "dropped_program",
+                context,
+                substrate,
+                f"{type(extractor).__name__}: {type(exc).__name__}: {exc}",
+            )
+        return None
+    return extractor
+
 
 def _program_store_key(
     method: Method, training: Sequence[TrainingExample]
@@ -261,13 +311,10 @@ def train_method(
         if key is not None:
             store.put("program", key, substrate, _FAILURE)
         raise
-    if key is not None:
-        try:
-            pickle.dumps(extractor)
-        except Exception:
-            pass
-        else:
-            store.put("program", key, substrate, extractor)
+    if key is not None and picklable_or_none(
+        extractor, key, store=store, substrate=substrate
+    ) is not None:
+        store.put("program", key, substrate, extractor)
     return extractor
 
 
@@ -333,9 +380,8 @@ def _transportable(result: FieldResult) -> FieldResult:
     """
     if result.extractor is None:
         return result
-    try:
-        pickle.dumps(result.extractor)
-    except Exception:
+    context = f"{result.method}|{result.provider}|{result.field}"
+    if picklable_or_none(result.extractor, context) is None:
         return replace(result, extractor=None)
     return result
 

@@ -1,0 +1,61 @@
+"""Micro-batching: group queued requests into one worker dispatch.
+
+The extraction worker runs whole batches, so per-dispatch overhead
+(executor hop, catalog lock, metrics flush) amortizes across
+``REPRO_SERVE_BATCH`` requests, and the router can evaluate one
+vectorized blueprint-distance pass per batch instead of per request.
+
+The policy is the classic leader/followers window:
+
+1. block until the *first* request arrives (an idle server burns no CPU
+   polling);
+2. then collect followers already queued — or arriving within the
+   ``REPRO_SERVE_BATCH_WAIT_MS`` window — up to the batch size.
+
+A lone request therefore pays at most the window (default 2 ms) of
+added latency, while a burst fills batches with no waiting at all.
+Batch composition is *never* allowed to affect results: the router
+encodes each document against a fixed catalog universe, so outputs are
+byte-identical whether a request rides alone or in a full batch (the
+equivalence test in ``tests/serve`` asserts exactly this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.serve.queue import AdmissionQueue
+
+
+async def next_batch(
+    queue: AdmissionQueue, batch_size: int, wait: float
+) -> list[Any]:
+    """The next micro-batch: one leader plus up to ``batch_size - 1``
+    followers collected within ``wait`` seconds.
+
+    Blocks until at least one request exists; always returns a non-empty
+    list of at most ``batch_size`` items, in admission order.
+    """
+    leader = await queue.get()
+    batch = [leader]
+    if batch_size <= 1:
+        return batch
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + max(0.0, wait)
+    while len(batch) < batch_size:
+        # Drain whatever is already queued before consulting the clock —
+        # a burst fills the batch without sleeping.
+        try:
+            batch.append(queue.get_nowait())
+            continue
+        except asyncio.QueueEmpty:
+            pass
+        remaining = deadline - loop.time()
+        if remaining <= 0:
+            break
+        try:
+            batch.append(await asyncio.wait_for(queue.get(), remaining))
+        except asyncio.TimeoutError:
+            break
+    return batch

@@ -147,6 +147,20 @@ def main(argv: list[str] | None = None) -> int:
                     f"  {bucket}: {detail['entries']} entries,"
                     f" {detail['bytes']} bytes"
                 )
+            # Programs the harness could not pickle never reach the
+            # program kind — they retrain on every warm run, so their
+            # count deserves a line of its own (see
+            # repro.harness.runner.picklable_or_none).
+            dropped = sum(
+                detail["entries"]
+                for bucket, detail in stats["by_kind"].items()
+                if bucket.endswith("/dropped_program")
+            )
+            if dropped:
+                print(
+                    f"dropped:  {dropped} unpicklable programs"
+                    " (retrained on every warm run)"
+                )
     elif args.command == "clear":
         before = store.stats()["entries"]
         store.clear()

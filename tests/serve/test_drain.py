@@ -1,0 +1,148 @@
+"""SIGTERM drain: every admitted request is answered before exit.
+
+Runs ``repro-serve run`` as a real subprocess — signal delivery and the
+exit path are the things under test, so no in-process shortcut will do.
+An artificial extract delay (``REPRO_SERVE_DELAY_MS``) holds a request
+in flight long enough to SIGTERM the server mid-extraction; the
+response must still arrive, and the process must exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _start_server(directory, tmp_path, extra_env=None):
+    addr_file = tmp_path / "addr"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(extra_env or {})
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.serve import main;"
+            " sys.exit(main(sys.argv[1:]))",
+            "--store-dir",
+            str(directory),
+            "run",
+            "--port",
+            "0",
+            "--watch",
+            "0",
+            "--addr-file",
+            str(addr_file),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        if addr_file.exists() and addr_file.read_text().strip():
+            host, port = addr_file.read_text().strip().removeprefix(
+                "http://"
+            ).split(":")
+            return proc, host, int(port)
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(
+                f"server died at startup: {out.decode()} {err.decode()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("server never published its address")
+
+
+def _send_request(host, port, payload):
+    """Write one POST /extract and return the socket (response unread)."""
+    body = json.dumps(payload).encode()
+    sock = socket.create_connection((host, port), timeout=30)
+    sock.sendall(
+        (
+            f"POST /extract HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode()
+        + body
+    )
+    return sock
+
+
+def _read_response(sock):
+    data = b""
+    sock.settimeout(30)
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError(f"connection closed mid-response: {data!r}")
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head.split(b"\r\n"):
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise AssertionError("connection closed mid-body")
+        rest += chunk
+    return status, json.loads(rest[:length])
+
+
+@pytest.mark.slow
+def test_sigterm_answers_in_flight_request(serve_setup, sample_docs, tmp_path):
+    docs = sample_docs["forge000"]
+    payload = {"html": docs.training[0].source, "field": docs.field}
+    proc, host, port = _start_server(
+        serve_setup.directory,
+        tmp_path,
+        # Hold each extraction for 500 ms so SIGTERM lands mid-request.
+        extra_env={"REPRO_SERVE_DELAY_MS": "500"},
+    )
+    try:
+        sock = _send_request(host, port, payload)
+        time.sleep(0.15)  # admitted and (very likely) mid-extract
+        proc.send_signal(signal.SIGTERM)
+        status, body = _read_response(sock)
+        sock.close()
+        assert status == 200, body
+        assert body["provider"] == "forge000"
+        assert body["values"], "in-flight request lost its extraction"
+        assert proc.wait(timeout=30) == 0
+        # The listener is gone: new connections are refused.
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=2)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+@pytest.mark.slow
+def test_clean_startup_and_sigterm_idle_exit(serve_setup, tmp_path):
+    proc, host, port = _start_server(serve_setup.directory, tmp_path)
+    try:
+        sock = socket.create_connection((host, port), timeout=10)
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        status, body = _read_response(sock)
+        assert status == 200 and body["programs"] > 0
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+        sock.close()
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

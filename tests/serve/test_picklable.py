@@ -1,0 +1,119 @@
+"""The consolidated pickle probe: warn-once, store counting, transport.
+
+Covers the two former silent paths — the ``train_method`` persist probe
+and the process-pool ``_transportable`` probe — now unified in
+:func:`repro.harness.runner.picklable_or_none`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.runner import (
+    FieldResult,
+    LrsynHtmlMethod,
+    _program_store_key,
+    _transportable,
+    picklable_or_none,
+    train_method,
+)
+from repro.store import BlueprintStore
+
+
+class Unpicklable:
+    """An extractor that refuses to pickle (closures, locks, ...)."""
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+    def extract(self, doc):
+        return ["value"]
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warn_registry(monkeypatch):
+    monkeypatch.setattr(runner, "_pickle_warned", set())
+
+
+def test_picklable_value_passes_through():
+    extractor = object()  # plain objects pickle fine
+    assert picklable_or_none(extractor, "ctx") is extractor
+
+
+def test_unpicklable_warns_once_per_context():
+    extractor = Unpicklable()
+    with pytest.warns(RuntimeWarning, match="unpicklable extractor"):
+        assert picklable_or_none(extractor, "ctx-a") is None
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert picklable_or_none(extractor, "ctx-a") is None
+        assert caught == []  # same context: silent
+        assert picklable_or_none(extractor, "ctx-b") is None
+        assert len(caught) == 1  # new context: one more warning
+
+
+def test_drop_is_recorded_and_reported_by_stats(tmp_path, capsys):
+    store = BlueprintStore(directory=tmp_path, enabled=True)
+    with pytest.warns(RuntimeWarning):
+        picklable_or_none(
+            Unpicklable(), "program-key-1", store=store, substrate="html"
+        )
+    store.flush()
+    assert store.get("dropped_program", "program-key-1") is not store.MISS
+    store.close()
+
+    from repro.store.cli import main as store_cli
+
+    assert store_cli(["--dir", str(tmp_path), "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "dropped:  1 unpicklable programs" in out
+
+
+def test_train_method_counts_drop_and_retrains_warm(
+    serve_setup, sample_docs, monkeypatch
+):
+    """The former silent `except Exception: pass` path, end to end."""
+    from repro.store import shared_store
+
+    docs = sample_docs["forge000"]
+    method = LrsynHtmlMethod()
+    from repro.datasets.base import CONTEMPORARY
+    from repro.harness.forge import forge_corpora
+    from tests.serve.conftest import SEED, TEST, TRAIN
+
+    corpus = forge_corpora("forge000", TRAIN, TEST, SEED)[CONTEMPORARY]
+    training = corpus.training_examples(docs.field)
+    monkeypatch.setattr(method, "train", lambda examples: Unpicklable())
+
+    key = _program_store_key(method, training)
+    assert key is not None
+    store = shared_store()
+
+    with pytest.warns(RuntimeWarning, match="unpicklable extractor"):
+        extractor = train_method(method, training)
+    assert isinstance(extractor, Unpicklable)
+    # Never persisted — warm runs retrain (and stay silent after the
+    # first warning) — but the drop is on the record.
+    assert store.get("program", key) is store.MISS
+    assert store.get("dropped_program", key) is not store.MISS
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert isinstance(train_method(method, training), Unpicklable)
+    assert caught == []
+
+
+def test_transportable_shares_the_probe():
+    result = FieldResult(
+        "LRSyn", "p", "f", "contemporary", None, Unpicklable()
+    )
+    with pytest.warns(RuntimeWarning, match="unpicklable extractor"):
+        stripped = _transportable(result)
+    assert stripped.extractor is None
+    # Same context label: the second result is stripped silently.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert _transportable(result).extractor is None
+    assert caught == []

@@ -1,0 +1,249 @@
+"""In-process server behavior: admission, batching, reload, metrics."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import repro.store as store_mod
+from tests.serve.conftest import http_request
+
+
+def test_healthz_and_programs(run_app, serve_setup):
+    async def scenario(app):
+        status, health, _ = await http_request(app.port, "GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["programs"] == sum(
+            1
+            for entry in serve_setup.report["entries"]
+            if entry["status"] == "ready"
+        )
+        status, listing, _ = await http_request(app.port, "GET", "/programs")
+        assert status == 200
+        assert len(listing["programs"]) == len(serve_setup.report["entries"])
+        status, body, _ = await http_request(app.port, "GET", "/nope")
+        assert status == 404 and "no such endpoint" in body["error"]
+
+    run_app(scenario)
+
+
+def test_extract_matches_offline_harness(run_app, serve_setup, sample_docs):
+    """Served values equal running the stored program directly."""
+    from repro.serve.router import Router, load_catalog
+
+    router = Router(load_catalog(serve_setup.store))
+
+    async def scenario(app):
+        for provider, docs in sample_docs.items():
+            entry, _ = router.lookup(provider, docs.field, "LRSyn")
+            for doc in (*docs.training, *docs.test):
+                status, body, _ = await http_request(
+                    app.port,
+                    "POST",
+                    "/extract",
+                    {"html": doc.source, "field": docs.field},
+                )
+                assert status == 200
+                assert body["provider"] == provider
+                assert body["values"] == entry.extractor.extract(doc)
+
+    run_app(scenario)
+
+
+def test_bad_requests_get_400(run_app):
+    async def scenario(app):
+        status, body, _ = await http_request(
+            app.port, "POST", "/extract", {"field": "F"}
+        )
+        assert status == 400 and "bad request" in body["error"]
+        status, body, _ = await http_request(
+            app.port, "POST", "/extract", {"html": 3, "field": "F"}
+        )
+        assert status == 400
+        status, body, _ = await http_request(app.port, "GET", "/extract")
+        assert status == 405
+
+    run_app(scenario)
+
+
+def test_batch_vs_single_byte_identical(run_app, sample_docs):
+    """The same request returns the same *bytes* alone or in a burst."""
+    requests = [
+        {"html": doc.source, "field": docs.field}
+        for docs in sample_docs.values()
+        for doc in (*docs.training, *docs.test)
+    ]
+
+    async def scenario(app):
+        single = []
+        for payload in requests:  # sequential: every batch has size 1
+            status, _, raw = await http_request(
+                app.port, "POST", "/extract", payload
+            )
+            assert status == 200
+            single.append(raw)
+        burst = await asyncio.gather(
+            *(
+                http_request(app.port, "POST", "/extract", payload)
+                for payload in requests
+            )
+        )
+        assert [raw for _, _, raw in burst] == single
+        status, metrics, _ = await http_request(app.port, "GET", "/metrics")
+        counters = metrics["counters"]
+        # The burst actually exercised multi-request batches.
+        assert counters["batches"] < counters["batched_requests"]
+
+    run_app(scenario, batch_size=4, batch_wait=0.05)
+
+
+def test_admission_queue_overflow_sheds_429(run_app, sample_docs):
+    docs = sample_docs["forge000"]
+    payload = {"html": docs.training[0].source, "field": docs.field}
+
+    async def scenario(app):
+        app.delay = 0.05  # slow extraction so the burst piles up
+        results = await asyncio.gather(
+            *(
+                http_request(app.port, "POST", "/extract", payload)
+                for _ in range(20)
+            )
+        )
+        statuses = [status for status, _, _ in results]
+        shed = statuses.count(429)
+        served = statuses.count(200)
+        assert shed > 0, "burst never overflowed the queue"
+        assert served > 0, "nothing was served"
+        assert shed + served == len(statuses)
+        for status, body, _ in results:
+            if status == 429:
+                assert "overloaded" in body["error"]
+                assert body["queue"] == app.queue.bound
+        status, metrics, _ = await http_request(app.port, "GET", "/metrics")
+        assert metrics["queue"]["shed"] == shed
+        assert metrics["counters"]["http.429"] == shed
+
+    run_app(scenario, queue_size=2, batch_size=1, batch_wait=0.0)
+
+
+def test_forced_reload_picks_up_new_export(run_app, serve_setup):
+    from repro.harness.export import catalog_payload, serving_entry_key
+    from tests.serve.test_router import FixedExtractor
+
+    key = serving_entry_key("synthetic", "pX", "FX", "LRSyn")
+
+    async def scenario(app):
+        before = app.router.catalog.ready
+        serve_setup.store.put("program", "pX-prog", "html", FixedExtractor(["v"]))
+        serve_setup.store.put(
+            "serving",
+            key,
+            "html",
+            catalog_payload(
+                "synthetic",
+                "pX",
+                "FX",
+                "LRSyn",
+                "pX-prog",
+                (frozenset({"q"}),),
+                "ready",
+            ),
+            overwrite=True,
+        )
+        serve_setup.store.flush()
+        status, body, _ = await http_request(app.port, "POST", "/reload")
+        assert status == 200 and body["reloaded"] is True
+        assert app.router.catalog.ready == before + 1
+        entry, diagnostic = app.router.lookup("pX", "FX")
+        assert diagnostic is None and entry.ready
+        # Unchanged store: reload reports no change via the watcher path.
+        assert app._reload_sync(force=False) is False
+
+    try:
+        run_app(scenario)
+    finally:
+        serve_setup.store.backend.delete_many([key])
+
+
+def test_hot_reload_on_generation_bump(run_app, serve_setup, sample_docs, monkeypatch):
+    """An algo bump stales the whole catalog; the watcher notices."""
+    docs = sample_docs["forge000"]
+    payload = {"html": docs.training[0].source, "field": docs.field}
+
+    async def scenario(app):
+        status, _, _ = await http_request(app.port, "POST", "/extract", payload)
+        assert status == 200
+        monkeypatch.setattr(
+            store_mod,
+            "BLUEPRINT_ALGO_VERSION",
+            store_mod.BLUEPRINT_ALGO_VERSION + 1,
+        )
+        for _ in range(100):  # the watcher polls every 20 ms
+            await asyncio.sleep(0.02)
+            if app.router.catalog.ready == 0:
+                break
+        assert app.router.catalog.ready == 0
+        status, body, _ = await http_request(app.port, "POST", "/extract", payload)
+        assert status == 404
+        assert body["reason"] == "stale-generation"
+        # Reverting the bump restores service the same way.
+        monkeypatch.setattr(
+            store_mod,
+            "BLUEPRINT_ALGO_VERSION",
+            store_mod.BLUEPRINT_ALGO_VERSION - 1,
+        )
+        for _ in range(100):
+            await asyncio.sleep(0.02)
+            if app.router.catalog.ready:
+                break
+        status, _, _ = await http_request(app.port, "POST", "/extract", payload)
+        assert status == 200
+
+    run_app(scenario, watch=0.02)
+
+
+def test_metrics_report_all_stages(run_app, sample_docs):
+    docs = sample_docs["forge001"]
+
+    async def scenario(app):
+        for doc in docs.training:
+            await http_request(
+                app.port,
+                "POST",
+                "/extract",
+                {"html": doc.source, "field": docs.field},
+            )
+        status, metrics, raw = await http_request(app.port, "GET", "/metrics")
+        assert status == 200
+        stages = metrics["stages_ms"]
+        for stage in ("queue", "decode", "route", "extract", "encode", "total"):
+            assert stages[stage]["count"] == len(docs.training)
+            assert stages[stage]["p50"] <= stages[stage]["p99"]
+        assert metrics["counters"]["http.200"] >= len(docs.training)
+        # Canonical JSON: the payload is deterministic (sorted keys).
+        assert raw == json.dumps(metrics, sort_keys=True).encode()
+
+    run_app(scenario)
+
+
+def test_keep_alive_connection_reuse(run_app, sample_docs):
+    docs = sample_docs["forge000"]
+
+    async def scenario(app):
+        reader, writer = await asyncio.open_connection("127.0.0.1", app.port)
+        try:
+            for doc in docs.training:
+                status, body, _ = await http_request(
+                    app.port,
+                    "POST",
+                    "/extract",
+                    {"html": doc.source, "field": docs.field},
+                    reader=reader,
+                    writer=writer,
+                )
+                assert status == 200
+        finally:
+            writer.close()
+
+    run_app(scenario)
